@@ -1,0 +1,30 @@
+"""E12 -- Conjecture 8.1: Q_d(f) isometric => Q_d(ff) isometric.
+
+Experimental sweep over all factors up to length 4 and d <= 8: every
+non-vacuous instance must support the conjecture (a violation would be a
+publishable counterexample; the bench fails loudly in that case).
+"""
+
+from repro.conjectures.conj81 import sweep_conjecture_81
+
+from conftest import print_table
+
+
+def test_bench_e12_sweep(benchmark):
+    cases = benchmark(sweep_conjecture_81, 4, 8)
+    violations = [c for c in cases if c.violates]
+    support = sum(1 for c in cases if c.supports)
+    assert not violations, f"counterexample(s) to Conjecture 8.1: {violations[:3]}"
+    assert support > 50
+    by_factor = {}
+    for c in cases:
+        by_factor.setdefault(c.f, []).append(c)
+    rows = [
+        (f, len(cs), sum(1 for c in cs if c.supports))
+        for f, cs in sorted(by_factor.items())
+    ]
+    print_table(
+        "Conjecture 8.1 sweep (premise-true cases, zero violations)",
+        ["f", "cases", "supporting"],
+        rows[:24],
+    )

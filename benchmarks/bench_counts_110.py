@@ -1,0 +1,79 @@
+"""E2/E3/E4 -- eqs. (4)-(6), Propositions 6.2 and 6.3: H_d = Q_d(110).
+
+Four independent sources must agree: brute force, recurrences, closed
+forms, automaton counters; plus |V(H_d)| = F_{d+3} - 1.
+"""
+
+from repro.combinat.sequences import fibonacci
+from repro.invariants.counts import (
+    brute_counts,
+    edges_110_closed,
+    edges_110_convolution,
+    recurrences_110,
+    squares_110_closed,
+    vertices_110_closed,
+)
+from repro.words.counting import count_squares_automaton
+
+from conftest import print_table
+
+
+def test_bench_e2_recurrences_vs_bruteforce(benchmark):
+    rec = recurrences_110(10)
+    brute = benchmark(lambda: [brute_counts("110", d) for d in range(11)])
+    rows = []
+    for d in range(11):
+        assert brute[d] == rec[d], d
+        rows.append((d, rec[d].vertices, fibonacci(d + 3) - 1, rec[d].edges, rec[d].squares))
+    print_table(
+        "Q_d(110): eqs (4)-(6); |V| = F_{d+3}-1",
+        ["d", "|V|", "F_{d+3}-1", "|E|", "|S|"],
+        rows,
+    )
+
+
+def test_bench_e3_proposition_6_2(benchmark):
+    """|E(H_d)|: convolution form == /5 closed form == recurrence."""
+
+    def sweep():
+        rec = recurrences_110(300)
+        return [
+            (d, rec[d].edges, edges_110_convolution(d), edges_110_closed(d))
+            for d in range(0, 301, 30)
+        ]
+
+    rows = benchmark(sweep)
+    for d, by_rec, by_conv, by_closed in rows:
+        assert by_rec == by_conv == by_closed, d
+    print_table(
+        "Prop 6.2: |E(H_d)| three ways (all equal)",
+        ["d", "recurrence", "convolution", "closed /5"],
+        [(d, a, "=", "=") for d, a, _, _ in rows],
+    )
+
+
+def test_bench_e4_proposition_6_3(benchmark):
+    """|S(H_d)| closed form vs recurrence vs automaton."""
+
+    def sweep():
+        rec = recurrences_110(150)
+        out = []
+        for d in range(0, 151, 25):
+            out.append((d, rec[d].squares, squares_110_closed(d)))
+        out.append((40, count_squares_automaton("110", 40), squares_110_closed(40)))
+        return out
+
+    rows = benchmark(sweep)
+    for d, got, closed in rows:
+        assert got == closed, d
+    print_table(
+        "Prop 6.3: |S(H_d)| closed form (all equal)",
+        ["d", "measured", "closed form"],
+        rows,
+    )
+
+
+def test_bench_e2_vertices_closed(benchmark):
+    vals = benchmark(lambda: [vertices_110_closed(d) for d in range(200)])
+    rec = recurrences_110(199)
+    assert vals == [c.vertices for c in rec]

@@ -1,0 +1,47 @@
+"""E1 -- eqs. (1)-(3) (Section 6): recurrences for G_d = Q_d(111).
+
+Checks the three coupled recurrences against brute-force graph counts in
+the enumerable range and against the automaton counters far beyond it.
+"""
+
+from repro.invariants.counts import brute_counts, recurrences_111
+from repro.words.counting import (
+    count_edges_automaton,
+    count_squares_automaton,
+    count_vertices_automaton,
+)
+
+from conftest import print_table
+
+
+def test_bench_e1_recurrences_vs_bruteforce(benchmark):
+    rec = recurrences_111(10)
+
+    def measure():
+        return [brute_counts("111", d) for d in range(11)]
+
+    brute = benchmark(measure)
+    rows = []
+    for d in range(11):
+        assert brute[d] == rec[d], d
+        rows.append((d, rec[d].vertices, rec[d].edges, rec[d].squares))
+    print_table("Q_d(111): eqs (1)-(3) vs brute force (all equal)",
+                ["d", "|V|", "|E|", "|S|"], rows)
+
+
+def test_bench_e1_recurrences_vs_automaton(benchmark):
+    """Same identities at d = 120 where enumeration is impossible."""
+
+    def far():
+        rec = recurrences_111(120)
+        return (
+            rec[120],
+            count_vertices_automaton("111", 120),
+            count_edges_automaton("111", 120),
+            count_squares_automaton("111", 120),
+        )
+
+    counts, v, e, s = benchmark(far)
+    assert counts.vertices == v
+    assert counts.edges == e
+    assert counts.squares == s

@@ -1,0 +1,52 @@
+"""E9 -- Lemma 2.4 certificates: paper constructions vs exhaustive search.
+
+For every non-embeddable case in range, the explicit critical pair written
+in the paper's proofs must verify, and the exhaustive search must find a
+pair of the same (or smaller) criticality p.
+"""
+
+import pytest
+
+from repro.isometry.critical import find_critical_pair, paper_critical_pair
+
+from conftest import print_table
+
+CASES = [
+    ("101", 4),    # Prop 3.2
+    ("1101", 5),   # Prop 3.2
+    ("1001", 5),   # Prop 3.2
+    ("1100", 7),   # Thm 3.3, r=s=2, 3-critical
+    ("1100", 8),   # Thm 3.3 Case 2
+    ("11000", 8),  # Thm 3.3(ii) boundary +1
+    ("10110", 7),  # Prop 4.2
+    ("10101", 8),  # Prop 4.1
+]
+
+
+@pytest.mark.parametrize("f,d", CASES)
+def test_bench_e9_paper_construction(benchmark, f, d):
+    pair = benchmark(paper_critical_pair, f, d)
+    assert pair is not None, (f, d)
+
+
+@pytest.mark.parametrize("f,d", CASES)
+def test_bench_e9_search_confirms(benchmark, f, d):
+    pair = benchmark(find_critical_pair, (f, d), 3)
+    assert pair is not None, (f, d)
+
+
+def test_bench_e9_side_by_side(benchmark):
+    rows = benchmark(
+        lambda: [
+            (f, d, paper_critical_pair(f, d).source, paper_critical_pair(f, d).p,
+             find_critical_pair((f, d), 3).p)
+            for f, d in CASES
+        ]
+    )
+    for f, d, source, p_paper, p_search in rows:
+        assert p_search <= p_paper
+    print_table(
+        "Critical words: paper construction vs search",
+        ["f", "d", "construction", "p (paper)", "p (search)"],
+        rows,
+    )

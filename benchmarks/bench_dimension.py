@@ -1,0 +1,80 @@
+"""E10 -- Proposition 7.1: idim(G) <= dim_f(G) <= 3 idim(G) - 2.
+
+Exact f-dimensions on a small graph corpus, sandwich bounds everywhere,
+and the constructive upper-bound embedding verified.
+"""
+
+import pytest
+
+from repro.dimension.fdim import (
+    f_dimension,
+    isometric_dimension,
+    prop71_upper_bound_embedding,
+)
+from repro.graphs.core import Graph
+
+from conftest import print_table
+
+
+def path_graph(n):
+    return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n):
+    return Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(k):
+    return Graph.from_edges(k + 1, [(0, i + 1) for i in range(k)])
+
+
+def grid_graph(r, c):
+    e = []
+    for i in range(r):
+        for j in range(c):
+            if j + 1 < c:
+                e.append((i * c + j, i * c + j + 1))
+            if i + 1 < r:
+                e.append((i * c + j, (i + 1) * c + j))
+    return Graph.from_edges(r * c, e)
+
+
+CORPUS = {
+    "P5": path_graph(5),
+    "C4": cycle_graph(4),
+    "C6": cycle_graph(6),
+    "star4": star_graph(4),
+    "grid2x3": grid_graph(2, 3),
+}
+
+FACTORS = ["11", "110"]
+
+
+def sweep():
+    rows = []
+    for name, g in CORPUS.items():
+        d0 = isometric_dimension(g)
+        for f in FACTORS:
+            df = f_dimension(g, f)
+            rows.append((name, f, d0, df, 3 * d0 - 2))
+    return rows
+
+
+def test_bench_e10_bounds(benchmark):
+    rows = benchmark(sweep)
+    for name, f, d0, df, upper in rows:
+        assert d0 <= df <= upper, (name, f)
+    print_table(
+        "Prop 7.1: idim <= dim_f <= 3 idim - 2",
+        ["graph", "f", "idim", "dim_f", "3 idim - 2"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("f", ["11", "110", "1010"])
+def test_bench_e10_constructive_upper_bound(benchmark, f):
+    g = CORPUS["C6"]
+    words, dp = benchmark(prop71_upper_bound_embedding, g, f)
+    d0 = isometric_dimension(g)
+    assert dp <= 3 * d0 - 2
+    assert len(words) == g.num_vertices

@@ -1,0 +1,81 @@
+"""F2 -- Figure 2 (Section 8): Q_5(11) (Fibonacci cube) vs Q_4(110).
+
+The figure juxtaposes Gamma_5 with the 110-cube Q_4(110) to illustrate the
+final-remark identities:
+
+    |V(Q_d(110))| = |V(Gamma_{d+1})| - 1
+    |E(Q_d(110))| = |E(Gamma_{d+1})| - 1
+    |S(Q_d(110))| = |S(Gamma_{d+1})|
+    diam/maxdeg  d  vs  d+1
+
+We reproduce the figure's pair (d = 4) exactly and sweep the identities
+over a long series (automaton counters keep it exact at large d).
+"""
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.invariants.counts import brute_counts
+from repro.invariants.structure import structure_report
+from repro.words.counting import (
+    count_edges_automaton,
+    count_squares_automaton,
+    count_vertices_automaton,
+)
+
+from conftest import print_table
+
+
+def figure_pair():
+    return brute_counts("11", 5), brute_counts("110", 4)
+
+
+def test_bench_fig2_exact_pair(benchmark):
+    gamma5, h4 = benchmark(figure_pair)
+    assert gamma5.vertices == h4.vertices + 1
+    assert gamma5.edges == h4.edges + 1
+    assert gamma5.squares == h4.squares
+    rep_g = structure_report(("11", 5))
+    rep_h = structure_report(("110", 4))
+    assert rep_g.diameter == 5 and rep_h.diameter == 4
+    assert rep_g.max_degree == 5 and rep_h.max_degree == 4
+    print_table(
+        "Figure 2: Q_5(11) vs Q_4(110)",
+        ["quantity", "Q_5(11)", "Q_4(110)"],
+        [
+            ("vertices", gamma5.vertices, h4.vertices),
+            ("edges", gamma5.edges, h4.edges),
+            ("squares", gamma5.squares, h4.squares),
+            ("diameter", rep_g.diameter, rep_h.diameter),
+            ("max degree", rep_g.max_degree, rep_h.max_degree),
+        ],
+    )
+
+
+def test_bench_fig2_series(benchmark):
+    """The identities across d = 0..40 via the automaton counters."""
+
+    def sweep():
+        rows = []
+        for d in range(0, 41, 5):
+            rows.append(
+                (
+                    d,
+                    count_vertices_automaton("110", d),
+                    count_vertices_automaton("11", d + 1),
+                    count_edges_automaton("110", d),
+                    count_edges_automaton("11", d + 1),
+                    count_squares_automaton("110", d),
+                    count_squares_automaton("11", d + 1),
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    for d, v_h, v_g, e_h, e_g, s_h, s_g in rows:
+        assert v_h == v_g - 1, d
+        assert e_h == e_g - 1, d
+        assert s_h == s_g, d
+    print_table(
+        "Fig 2 identities at scale",
+        ["d", "V(H_d)", "V(G_{d+1})", "E(H_d)", "E(G_{d+1})", "S(H_d)", "S(G_{d+1})"],
+        rows,
+    )

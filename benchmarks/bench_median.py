@@ -1,0 +1,39 @@
+"""E6 -- Proposition 6.4: median-closed generalized Fibonacci cubes.
+
+Confirms median closure for every |f| = 2 and refutes it (with the
+proof's certificate triple) for every |f| in {3, 4} over several d.
+"""
+
+from repro.invariants.medianclosed import is_median_closed, median_certificate_triple
+from repro.words.core import all_words
+
+from conftest import print_table
+
+
+def sweep():
+    rows = []
+    for f in all_words(2):
+        for d in (2, 4, 6):
+            rows.append((f, d, is_median_closed(f, d), None))
+    for length in (3, 4):
+        for f in all_words(length):
+            for d in (length, length + 2):
+                closed = is_median_closed(f, d)
+                cert = None if closed else median_certificate_triple(f, d)[3]
+                rows.append((f, d, closed, cert))
+    return rows
+
+
+def test_bench_e6_median_classification(benchmark):
+    rows = benchmark(sweep)
+    for f, d, closed, cert in rows:
+        if len(f) == 2:
+            assert closed, (f, d)
+        else:
+            assert not closed, (f, d)
+            assert cert is not None
+    print_table(
+        "Prop 6.4: median closed iff |f| = 2 (certificate = missing median)",
+        ["f", "d", "median closed", "missing median"],
+        [(f, d, c, m or "-") for f, d, c, m in rows if d <= 5][:20],
+    )

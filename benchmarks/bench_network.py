@@ -1,0 +1,114 @@
+"""N1 -- interconnection-network experiments (the ICPP'93 lineage).
+
+Compares Q_d, Gamma_d = Q_d(11) and Q_d(111) as interconnection
+topologies: size/degree/diameter economics, shortest-path routing by the
+distributed canonical rule, single-port broadcast rounds, fault tolerance,
+and Hamiltonicity ("mostly Hamiltonian").
+"""
+
+import pytest
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.cubes.hypercube import hypercube
+from repro.network.broadcast import broadcast_rounds
+from repro.network.faults import fault_tolerance_trial
+from repro.network.hamilton import find_hamiltonian_path
+from repro.network.routing import BfsRouter, CanonicalRouter, route_stats
+from repro.network.simulator import NetworkSimulator, uniform_traffic
+from repro.network.topology import topology_of
+
+from conftest import print_table
+
+D = 7
+TOPOLOGIES = {
+    "Q_7": lambda: topology_of(hypercube(D), name="Q_7"),
+    "Q_7(11)": lambda: topology_of(("11", D)),
+    "Q_7(111)": lambda: topology_of(("111", D)),
+}
+
+
+def test_bench_n1_metrics(benchmark):
+    def collect():
+        return {name: mk().metrics() for name, mk in TOPOLOGIES.items()}
+
+    metrics = benchmark(collect)
+    # Fibonacci cubes trade nodes for sparser wiring at equal diameter
+    assert metrics["Q_7"]["nodes"] > metrics["Q_7(111)"]["nodes"] > metrics["Q_7(11)"]["nodes"]
+    assert metrics["Q_7"]["diameter"] == metrics["Q_7(11)"]["diameter"] == D
+    print_table(
+        "Topology economics at d = 7",
+        ["topology", "nodes", "links", "max deg", "diameter", "avg dist"],
+        [
+            (name, m["nodes"], m["links"], m["max_degree"], m["diameter"],
+             f"{m['avg_distance']:.2f}")
+            for name, m in metrics.items()
+        ],
+    )
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_bench_n1_canonical_routing_optimal(benchmark, name):
+    """On Q_d(1^s) the table-free canonical rule routes optimally
+    (Proposition 3.1 made operational)."""
+    topo = TOPOLOGIES[name]()
+    stats = benchmark(route_stats, topo, CanonicalRouter())
+    assert stats.delivery_rate == 1.0
+    assert stats.optimality_rate == 1.0
+
+
+def test_bench_n1_broadcast(benchmark):
+    def rounds():
+        return [
+            (name, *broadcast_rounds(mk(), 0)) for name, mk in TOPOLOGIES.items()
+        ]
+
+    rows = benchmark(rounds)
+    for name, used, bound in rows:
+        assert used <= bound + 3, (name, used, bound)
+    print_table("Single-port broadcast rounds", ["topology", "rounds", "log2 bound"], rows)
+
+
+def test_bench_n1_simulator_latency(benchmark):
+    def run():
+        out = []
+        for name, mk in TOPOLOGIES.items():
+            topo = mk()
+            traffic = uniform_traffic(topo, 150, 100, seed=42)
+            res = NetworkSimulator(topo, BfsRouter()).run(traffic)
+            out.append((name, res.delivery_rate, round(res.avg_latency, 2), res.max_queue))
+        return out
+
+    rows = benchmark(run)
+    for name, rate, avg, _ in rows:
+        assert rate == 1.0, name
+    print_table(
+        "Uniform traffic, store-and-forward simulator",
+        ["topology", "delivery", "avg latency", "max queue"],
+        rows,
+    )
+
+
+def test_bench_n1_fault_tolerance(benchmark):
+    def trial():
+        out = []
+        for name, mk in TOPOLOGIES.items():
+            rep = fault_tolerance_trial(mk(), 3, seed=13)
+            out.append((name, rep.still_connected, f"{rep.largest_component_fraction:.3f}",
+                        rep.diameter_after))
+        return out
+
+    rows = benchmark(trial)
+    for name, _, frac, _ in rows:
+        assert float(frac) > 0.85, name
+    print_table(
+        "3 random node faults",
+        ["topology", "still connected", "largest comp.", "diameter after"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("s,d", [(2, 7), (3, 7)])
+def test_bench_n1_mostly_hamiltonian(benchmark, s, d):
+    g = generalized_fibonacci_cube("1" * s, d).graph()
+    path = benchmark(find_hamiltonian_path, g)
+    assert path is not None and len(path) == g.num_vertices

@@ -1,0 +1,39 @@
+"""E11 -- Section 8 worked example: Q_d(101) is isometric in NO hypercube.
+
+Rebuilds the paper's Theta* ladder for a range of d, verifies every rung,
+and runs the full Winkler partial-cube recognition as an independent
+confirmation.
+"""
+
+import pytest
+
+from repro.conjectures.q101 import q101_ladder_certificate, q101_not_partial_cube
+
+from conftest import print_table
+
+
+@pytest.mark.parametrize("d", [4, 5, 6, 7])
+def test_bench_e11_ladder(benchmark, d):
+    cert = benchmark(q101_ladder_certificate, d)
+    assert len(cert.rungs) == 2 * d - 3
+    assert cert.theta_direct is False
+
+
+@pytest.mark.parametrize("d", [4, 5, 6])
+def test_bench_e11_winkler(benchmark, d):
+    assert benchmark(q101_not_partial_cube, d)
+
+
+def test_bench_e11_summary(benchmark):
+    rows = benchmark(
+        lambda: [
+            (d, len(q101_ladder_certificate(d).rungs), q101_not_partial_cube(d))
+            for d in (4, 5, 6)
+        ]
+    )
+    print_table(
+        "Q_d(101): Theta-ladder rungs and Winkler verdict",
+        ["d", "ladder rungs (2d-3)", "not a partial cube"],
+        rows,
+    )
+    assert all(bad for _, _, bad in rows)

@@ -1,0 +1,30 @@
+"""Shared reporting helper for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one paper artefact (table, figure, or
+worked claim), asserts the reproduced shape against the paper, and times
+the computational kernel with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated rows exactly as the paper prints them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned reproduction table (visible under ``pytest -s``)."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))

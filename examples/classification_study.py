@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1 and push the classification beyond the paper.
+
+Part 1 regenerates the paper's Table 1 (factors of length <= 5) from the
+theorem engine plus the two computer checks, and diffs it against the
+printed table.
+
+Part 2 goes where the paper stopped: it classifies all 20 factor orbits of
+length 6 by combining the theorems with brute force, reporting which cells
+the paper's machinery decides and which still need a computer -- i.e. the
+empirical frontier of Problem 8.2's landscape.
+
+Run:  python examples/classification_study.py
+"""
+
+from collections import Counter
+
+from repro.classify import (
+    Status,
+    classification_table,
+    classify,
+    classify_with_bruteforce,
+    table1_expected,
+)
+from repro.classify.table1 import orbit_representatives
+
+
+def part1_table1() -> None:
+    print("=" * 64)
+    print("Part 1: Table 1, regenerated")
+    print("=" * 64)
+    expected = table1_expected()
+    rows = classification_table(max_length=5, max_d=9)
+    mismatch = 0
+    for row in rows:
+        status = "always" if row.threshold is None else f"iff d <= {row.threshold}"
+        ok = expected[row.f] == row.threshold
+        mismatch += 0 if ok else 1
+        print(f"  {'OK' if ok else '!!'}  {row.f:>6}  {status:<12} ({'; '.join(row.sources)})")
+    print(f"\n  -> {len(rows)} orbits, {mismatch} mismatches with the paper\n")
+
+
+def part2_length6() -> None:
+    print("=" * 64)
+    print("Part 2: the length-6 frontier (beyond the paper)")
+    print("=" * 64)
+    reps = orbit_representatives(6)
+    tally = Counter()
+    for f in reps:
+        pattern = []
+        needed_computer = False
+        for d in range(1, 10):
+            v = classify(f, d)
+            if v.status is Status.UNKNOWN:
+                needed_computer = True
+                v = classify_with_bruteforce(f, d)
+            pattern.append(v.status is Status.ISOMETRIC)
+        if all(pattern):
+            summary = "always (d <= 9)"
+            tally["always"] += 1
+        else:
+            threshold = pattern.index(False)  # last isometric d
+            summary = f"iff d <= {threshold}"
+            tally["threshold"] += 1
+        flag = "computer" if needed_computer else "theorems"
+        tally[flag] += 1
+        print(f"  {f}  {summary:<16} [{flag}]")
+    print(
+        f"\n  -> {len(reps)} orbits: {tally['always']} always-embeddable, "
+        f"{tally['threshold']} with a threshold; "
+        f"{tally['computer']} needed computation beyond the paper's theorems\n"
+    )
+
+
+if __name__ == "__main__":
+    part1_table1()
+    part2_length6()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Conjecture lab: machine exploration of the Section 8 open problems.
+
+1. Conjecture 8.1: if Q_d(f) embeds isometrically then so does Q_d(ff).
+   Sweeps all factors up to length 4, all d <= 9, reporting support and
+   hunting for a counterexample.
+
+2. Problem 8.3: can a non-embeddable Q_d(f) still embed in a *bigger*
+   hypercube?  The paper works out Q_d(101): Theta != Theta*, so by
+   Winkler's theorem the answer is NO for that family.  We verify the
+   ladder, then apply the same Winkler test to every non-embeddable cube
+   with |f| <= 4 in range -- gathering evidence that the answer is "no"
+   in most (if not all) cases, exactly as the paper suspects.
+
+Run:  python examples/conjecture_lab.py
+"""
+
+from repro.classify import Status, classify_with_bruteforce
+from repro.conjectures import (
+    q101_ladder_certificate,
+    q101_not_partial_cube,
+    sweep_conjecture_81,
+)
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.isometry.theta import is_partial_cube
+from repro.words.core import all_words
+
+
+def conjecture_81() -> None:
+    print("=" * 64)
+    print("Conjecture 8.1: Q_d(f) embeddable => Q_d(ff) embeddable")
+    print("=" * 64)
+    cases = sweep_conjecture_81(max_factor_length=4, max_d=9)
+    violations = [c for c in cases if c.violates]
+    print(f"  non-vacuous cases tested: {len(cases)}")
+    print(f"  supporting: {sum(1 for c in cases if c.supports)}")
+    print(f"  violations: {len(violations)}")
+    if violations:
+        for c in violations[:5]:
+            print("   counterexample:", c)
+    else:
+        print("  -> conjecture survives the sweep\n")
+
+
+def problem_83() -> None:
+    print("=" * 64)
+    print("Problem 8.3: does a non-embeddable Q_d(f) fit a bigger cube?")
+    print("=" * 64)
+
+    cert = q101_ladder_certificate(5)
+    print(f"  Q_5(101) ladder: {len(cert.rungs)} rungs verified; "
+          f"e Theta* g but not e Theta g")
+    assert q101_not_partial_cube(5)
+    print("  -> Q_5(101) is isometric in NO hypercube (Winkler)\n")
+
+    print("  sweeping all non-embeddable cubes, |f| <= 4, d <= 7:")
+    total = refuted = 0
+    for length in (3, 4):
+        for f in all_words(length):
+            for d in range(length + 1, 8):
+                v = classify_with_bruteforce(f, d)
+                if v.status is not Status.NOT_ISOMETRIC:
+                    continue
+                total += 1
+                g = generalized_fibonacci_cube(f, d).graph()
+                if not is_partial_cube(g):
+                    refuted += 1
+    print(f"  non-embeddable cases: {total}")
+    print(f"  of which partial cubes (could embed elsewhere): {total - refuted}")
+    print(f"  of which in NO hypercube at all: {refuted}")
+    print("  -> supports the paper's belief that the answer is negative\n")
+
+
+if __name__ == "__main__":
+    conjecture_81()
+    problem_83()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""f-dimension study (Section 7).
+
+For a corpus of small partial cubes, computes the isometric dimension,
+the Fibonacci dimension dim_11 (the [2] special case), dim_110, and the
+Proposition 7.1 sandwich idim <= dim_f <= 3 idim - 2 -- including the
+explicit spreading embedding that witnesses the upper bound.
+
+Also demonstrates the inverse dimension dim^{-1}_f of Section 7 and what
+happens on a graph that is NOT a partial cube.
+
+Run:  python examples/dimension_study.py
+"""
+
+from repro.dimension import (
+    f_dimension,
+    inverse_dimension,
+    isometric_dimension,
+    prop71_upper_bound_embedding,
+)
+from repro.cubes.hypercube import hypercube
+from repro.graphs.core import Graph
+
+
+def path(n):
+    return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle(n):
+    return Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star(k):
+    return Graph.from_edges(k + 1, [(0, i + 1) for i in range(k)])
+
+
+def grid(r, c):
+    e = []
+    for i in range(r):
+        for j in range(c):
+            if j + 1 < c:
+                e.append((i * c + j, i * c + j + 1))
+            if i + 1 < r:
+                e.append((i * c + j, (i + 1) * c + j))
+    return Graph.from_edges(r * c, e)
+
+
+CORPUS = [
+    ("P5 (path)", path(5)),
+    ("C4 (square)", cycle(4)),
+    ("C6 (hexagon)", cycle(6)),
+    ("K_{1,4} (star)", star(4)),
+    ("2x3 grid", grid(2, 3)),
+    ("Q_2", hypercube(2)),
+    ("Q_3", hypercube(3)),
+]
+
+
+def main() -> None:
+    print(f"{'graph':<16}{'idim':>6}{'dim_11':>8}{'dim_110':>9}{'3*idim-2':>10}")
+    for name, g in CORPUS:
+        d0 = isometric_dimension(g)
+        d11 = f_dimension(g, "11")
+        d110 = f_dimension(g, "110")
+        print(f"{name:<16}{d0:>6}{d11:>8}{d110:>9}{3 * d0 - 2:>10}")
+        assert d0 <= d11 <= 3 * d0 - 2 and d0 <= d110 <= 3 * d0 - 2
+
+    print("\nProposition 7.1 constructive upper bound on C6 (f = 11):")
+    words, dp = prop71_upper_bound_embedding(cycle(6), "11")
+    print(f"  C6 spread into Q_{dp}(11) as:", " ".join(words))
+
+    print("\nInverse dimension: largest Q_d(11) isometric inside Q_4:")
+    print("  dim^-1_11(Q_4) =", inverse_dimension(hypercube(4), "11", d_max=6))
+
+    print("\nA non-partial-cube has no finite f-dimension:")
+    k3 = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    print("  dim_11(K_3) =", f_dimension(k3, "11"))
+
+
+if __name__ == "__main__":
+    main()

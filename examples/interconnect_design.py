@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Interconnection-network design study (the ICPP'93 reading of the paper).
+
+Fibonacci cubes were proposed as interconnection topologies that scale in
+finer steps than hypercubes while keeping their routing structure.  This
+study compares, at equal dimension:
+
+    Q_d          the hypercube,
+    Q_d(11)      the Fibonacci cube,
+    Q_d(111)     the order-3 Hsu-Liu cube,
+    Q_d(1010)    an embeddable generalized Fibonacci cube (Thm 4.4),
+
+on: size economics, distributed canonical routing (no tables -- the
+Proposition 3.1 / Theorem 4.4 isometry is what makes it optimal),
+single-port broadcast, latency under uniform traffic, fault tolerance,
+and Hamiltonicity.
+
+Run:  python examples/interconnect_design.py [d]
+"""
+
+import sys
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.cubes.hypercube import hypercube
+from repro.network import (
+    BfsRouter,
+    CanonicalRouter,
+    NetworkSimulator,
+    broadcast_rounds,
+    fault_tolerance_trial,
+    find_hamiltonian_path,
+    route_stats,
+    topology_of,
+    uniform_traffic,
+)
+
+
+def build(d: int):
+    yield topology_of(hypercube(d), name=f"Q_{d}")
+    yield topology_of(("11", d))
+    yield topology_of(("111", d))
+    yield topology_of(("1010", d))
+
+
+def main(d: int = 7) -> None:
+    topos = list(build(d))
+
+    print(f"--- topology economics at d = {d} ---")
+    print(f"{'topology':<12}{'nodes':>7}{'links':>7}{'maxdeg':>8}{'diam':>6}{'avgdist':>9}")
+    for topo in topos:
+        m = topo.metrics()
+        print(
+            f"{topo.name:<12}{m['nodes']:>7}{m['links']:>7}{m['max_degree']:>8}"
+            f"{m['diameter']:>6}{m['avg_distance']:>9.2f}"
+        )
+
+    print("\n--- distributed canonical routing (table-free) ---")
+    for topo in topos:
+        stats = route_stats(topo, CanonicalRouter())
+        print(
+            f"{topo.name:<12} delivery {stats.delivery_rate:6.3f}   "
+            f"optimal {stats.optimality_rate:6.3f}   stretch {stats.stretch:6.3f}"
+        )
+
+    print("\n--- single-port broadcast from node 0 ---")
+    for topo in topos:
+        used, bound = broadcast_rounds(topo, 0)
+        print(f"{topo.name:<12} {used} rounds  (log2 lower bound {bound})")
+
+    print("\n--- uniform random traffic, store-and-forward ---")
+    for topo in topos:
+        traffic = uniform_traffic(topo, 200, 120, seed=17)
+        res = NetworkSimulator(topo, BfsRouter()).run(traffic)
+        print(
+            f"{topo.name:<12} delivered {res.delivered}/{res.injected}   "
+            f"avg latency {res.avg_latency:6.2f}   max queue {res.max_queue}"
+        )
+
+    print("\n--- 3 random node faults ---")
+    for topo in topos:
+        rep = fault_tolerance_trial(topo, 3, seed=5)
+        print(
+            f"{topo.name:<12} connected={rep.still_connected}   "
+            f"largest component {rep.largest_component_fraction:6.3f}   "
+            f"diameter {rep.diameter_before} -> {rep.diameter_after}"
+        )
+
+    print("\n--- Hamiltonicity ('mostly Hamiltonian') ---")
+    for topo in topos:
+        path = find_hamiltonian_path(topo.graph)
+        verdict = "Hamiltonian path found" if path else "no Hamiltonian path"
+        print(f"{topo.name:<12} {verdict}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

@@ -1,0 +1,31 @@
+"""Theorem engine: machine classification of :math:`Q_d(f) \\hookrightarrow Q_d`.
+
+:func:`classify` applies the paper's results (Lemma 2.1, Propositions 3.1,
+3.2, 4.1, 4.2, 5.1, Theorems 3.3, 4.3, 4.4) to a factor/dimension pair and
+returns a :class:`Verdict` carrying provenance; gaps the theorems leave are
+reported as UNKNOWN and may be settled by brute force
+(:func:`classify_with_bruteforce`), which is exactly how the paper's own
+"computer check" footnotes in Table 1 arise.  :mod:`repro.classify.table1`
+regenerates Table 1.
+"""
+
+from repro.classify.verdict import Status, Verdict
+from repro.classify.rules import ALL_RULES, applicable_rules
+from repro.classify.engine import classify, classify_with_bruteforce
+from repro.classify.table1 import Table1Row, classification_table, table1_expected
+from repro.classify.frontier import FrontierRow, classify_frontier, frontier_statistics
+
+__all__ = [
+    "Status",
+    "Verdict",
+    "ALL_RULES",
+    "applicable_rules",
+    "classify",
+    "classify_with_bruteforce",
+    "Table1Row",
+    "FrontierRow",
+    "classify_frontier",
+    "frontier_statistics",
+    "classification_table",
+    "table1_expected",
+]

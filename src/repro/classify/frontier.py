@@ -1,0 +1,96 @@
+"""Classification frontier: pushing Table 1 past the paper.
+
+Table 1 stops at ``|f| = 5``.  :func:`classify_frontier` runs the same
+pipeline (theorem engine + brute-force gap filling) for any factor
+length, reporting per-orbit summaries and how much of the landscape the
+paper's theorems decide on their own -- quantitative context for
+Problem 8.2 and Conjecture 8.1.
+
+A frontier row records, for an orbit representative ``f``:
+
+- the embeddability pattern summary over the probed dimensions
+  (``always`` within the probe, or an exact threshold);
+- whether any probed cell required brute force (i.e. the theorems were
+  silent there), and which cells those were;
+- the rule provenance that decided the decided cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.classify.engine import classify, classify_with_bruteforce
+from repro.classify.table1 import orbit_representatives
+from repro.classify.verdict import Status
+
+__all__ = ["FrontierRow", "classify_frontier", "frontier_statistics"]
+
+
+@dataclass(frozen=True)
+class FrontierRow:
+    """Classification summary of one factor orbit."""
+
+    f: str
+    max_d: int
+    threshold: Optional[int]  # None = isometric throughout the probe
+    computer_cells: Tuple[int, ...]  # dimensions that needed brute force
+    sources: Tuple[str, ...]
+
+    @property
+    def decided_by_theorems_alone(self) -> bool:
+        return not self.computer_cells
+
+    @property
+    def always_within_probe(self) -> bool:
+        return self.threshold is None
+
+
+def classify_frontier(length: int, max_d: int = 9) -> List[FrontierRow]:
+    """Classify every orbit of the given factor length up to ``max_d``.
+
+    Raises on a non-monotone embeddability pattern (none is known; one
+    would be a discovery worth failing loudly for).
+    """
+    rows: List[FrontierRow] = []
+    for f in orbit_representatives(length):
+        pattern: List[bool] = []
+        computer: List[int] = []
+        sources: List[str] = []
+        for d in range(1, max_d + 1):
+            v = classify(f, d)
+            if v.status is Status.UNKNOWN:
+                computer.append(d)
+                v = classify_with_bruteforce(f, d)
+            if v.status is Status.UNKNOWN:
+                raise RuntimeError(f"could not settle f={f!r}, d={d}")
+            pattern.append(v.status is Status.ISOMETRIC)
+            if v.source not in sources:
+                sources.append(v.source)
+        if all(pattern):
+            threshold: Optional[int] = None
+        else:
+            first_bad = pattern.index(False)
+            if any(pattern[first_bad:]):
+                raise RuntimeError(
+                    f"non-monotone embeddability for f={f!r}: {pattern}"
+                )
+            threshold = first_bad  # = last isometric d (1-based d-1 of index)
+        rows.append(
+            FrontierRow(f, max_d, threshold, tuple(computer), tuple(sources))
+        )
+    return rows
+
+
+def frontier_statistics(rows: List[FrontierRow]) -> dict:
+    """Aggregate view of a frontier sweep."""
+    return {
+        "orbits": len(rows),
+        "always_within_probe": sum(1 for r in rows if r.always_within_probe),
+        "with_threshold": sum(1 for r in rows if not r.always_within_probe),
+        "decided_by_theorems_alone": sum(
+            1 for r in rows if r.decided_by_theorems_alone
+        ),
+        "needed_computer": sum(1 for r in rows if r.computer_cells),
+        "computer_cells_total": sum(len(r.computer_cells) for r in rows),
+    }

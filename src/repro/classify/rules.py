@@ -1,0 +1,184 @@
+"""Individual classification rules, one per paper statement.
+
+Each rule is a function ``rule(g, d) -> Optional[Verdict]`` that inspects
+a *single orbit representative* ``g`` (the engine tries all four members
+of the complement/reversal orbit, Lemmas 2.2 and 2.3) and answers only
+when its hypothesis matches exactly.  Rules never guess: anything not
+literally covered by the statement returns ``None``.
+
+Covered statements::
+
+    Lemma 2.1          d <= |f|                          -> ISOMETRIC
+    Proposition 3.1    f = 1^s                           -> ISOMETRIC
+    Theorem 3.3 (i)    f = 1^r 0                         -> ISOMETRIC
+    Theorem 3.3 (ii)   f = 1^2 0^s, s >= 2               -> iso iff d <= s + 4
+    Theorem 3.3 (iii)  f = 1^r 0^s, r,s >= 3             -> iso iff d <= 2r + 2s - 3
+    Proposition 3.2    f = 1^r 0^s 1^t                   -> NOT for d >= r+s+t+1
+    Theorem 4.3        f = 1^s 0 1^s 0, s >= 2           -> ISOMETRIC
+    Theorem 4.4        f = (10)^s                        -> ISOMETRIC
+    Proposition 4.1    f = (10)^s 1, s >= 2              -> NOT for d >= 4s
+    Proposition 4.2    f = (10)^r 1 (10)^s               -> NOT for d >= 2r+2s+3
+    Proposition 5.1    f = 11010                         -> ISOMETRIC
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.classify.verdict import Status, Verdict
+from repro.isometry.critical import _split_10r1_10s
+from repro.words.core import blocks
+
+__all__ = ["ALL_RULES", "applicable_rules"]
+
+Rule = Callable[[str, int, str], Optional[Verdict]]
+# signature: (orbit representative g, dimension d, original factor f)
+
+
+def _two_block_exponents(g: str) -> Optional[Tuple[int, int]]:
+    """``(r, s)`` when ``g = 1^r 0^s`` with ``r, s >= 1``."""
+    runs = blocks(g)
+    if len(runs) == 2 and runs[0][0] == "1":
+        return (runs[0][1], runs[1][1])
+    return None
+
+
+def rule_lemma_2_1(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Lemma 2.1: for ``1 <= d <= |f|`` every :math:`Q_d(f)` is isometric."""
+    if d <= len(g):
+        return Verdict(f, d, Status.ISOMETRIC, "Lemma 2.1", g)
+    return None
+
+
+def rule_prop_3_1(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Proposition 3.1: one block, ``f = 1^s`` -> isometric for every d."""
+    if set(g) == {"1"}:
+        return Verdict(f, d, Status.ISOMETRIC, "Proposition 3.1", g)
+    return None
+
+
+def rule_thm_3_3_i(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Theorem 3.3(i): ``f = 1^r 0`` -> isometric for every d."""
+    two = _two_block_exponents(g)
+    if two is not None and two[1] == 1:
+        return Verdict(f, d, Status.ISOMETRIC, "Theorem 3.3(i)", g)
+    return None
+
+
+def rule_thm_3_3_ii(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Theorem 3.3(ii): ``f = 1^2 0^s`` (s >= 2) -> iso iff ``d <= s + 4``."""
+    two = _two_block_exponents(g)
+    if two is not None and two[0] == 2 and two[1] >= 2:
+        s = two[1]
+        status = Status.ISOMETRIC if d <= s + 4 else Status.NOT_ISOMETRIC
+        return Verdict(f, d, status, "Theorem 3.3(ii)", g)
+    return None
+
+
+def rule_thm_3_3_iii(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Theorem 3.3(iii): ``f = 1^r 0^s`` (r, s >= 3) -> iso iff ``d <= 2r+2s-3``."""
+    two = _two_block_exponents(g)
+    if two is not None and two[0] >= 3 and two[1] >= 3:
+        r, s = two
+        status = Status.ISOMETRIC if d <= 2 * r + 2 * s - 3 else Status.NOT_ISOMETRIC
+        return Verdict(f, d, status, "Theorem 3.3(iii)", g)
+    return None
+
+
+def rule_prop_3_2(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Proposition 3.2: ``f = 1^r 0^s 1^t`` -> NOT isometric for ``d >= r+s+t+1``.
+
+    Together with Lemma 2.1 this decides every three-block factor for
+    every ``d`` (the two ranges meet at ``d = |f|``).
+    """
+    runs = blocks(g)
+    if len(runs) == 3 and runs[0][0] == "1":
+        if d >= len(g) + 1:
+            return Verdict(f, d, Status.NOT_ISOMETRIC, "Proposition 3.2", g)
+    return None
+
+
+def rule_thm_4_3(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Theorem 4.3: ``f = 1^s 0 1^s 0`` (s >= 2) -> isometric for every d."""
+    runs = blocks(g)
+    if (
+        len(runs) == 4
+        and runs[0][0] == "1"
+        and runs[0][1] >= 2
+        and runs[1] == ("0", 1)
+        and runs[2] == ("1", runs[0][1])
+        and runs[3] == ("0", 1)
+    ):
+        return Verdict(f, d, Status.ISOMETRIC, "Theorem 4.3", g)
+    return None
+
+
+def rule_thm_4_4(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Theorem 4.4: ``f = (10)^s`` -> isometric for every d."""
+    if len(g) >= 2 and len(g) % 2 == 0 and g == "10" * (len(g) // 2):
+        return Verdict(f, d, Status.ISOMETRIC, "Theorem 4.4", g)
+    return None
+
+
+def rule_prop_4_1(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Proposition 4.1: ``f = (10)^s 1`` (s >= 2) -> NOT isometric for ``d >= 4s``.
+
+    (``s = 1`` is the three-block case 101, already settled by
+    Proposition 3.2, which this rule leaves alone.)
+    """
+    if len(g) % 2 == 1 and len(g) >= 5 and g == "10" * (len(g) // 2) + "1":
+        s = len(g) // 2
+        if d >= 4 * s:
+            return Verdict(f, d, Status.NOT_ISOMETRIC, "Proposition 4.1", g)
+    return None
+
+
+def rule_prop_4_2(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Proposition 4.2: ``f = (10)^r 1 (10)^s`` -> NOT isometric for
+    ``d >= 2r + 2s + 3``."""
+    hit = _split_10r1_10s(g)
+    if hit is not None:
+        r, s = hit
+        if d >= 2 * r + 2 * s + 3:
+            return Verdict(f, d, Status.NOT_ISOMETRIC, "Proposition 4.2", g)
+    return None
+
+
+def rule_prop_5_1(g: str, d: int, f: str) -> Optional[Verdict]:
+    """Proposition 5.1: ``f = 11010`` -> isometric for every d."""
+    if g == "11010":
+        return Verdict(f, d, Status.ISOMETRIC, "Proposition 5.1", g)
+    return None
+
+
+ALL_RULES: List[Rule] = [
+    rule_lemma_2_1,
+    rule_prop_3_1,
+    rule_thm_3_3_i,
+    rule_thm_3_3_ii,
+    rule_thm_3_3_iii,
+    rule_prop_3_2,
+    rule_thm_4_3,
+    rule_thm_4_4,
+    rule_prop_4_1,
+    rule_prop_4_2,
+    rule_prop_5_1,
+]
+
+
+def applicable_rules(f: str, d: int) -> List[Verdict]:
+    """All verdicts any rule produces on any orbit representative of ``f``.
+
+    Used by the consistency tests: the paper's statements must never
+    contradict each other, so all decided verdicts in this list must
+    agree.
+    """
+    from repro.cubes.symmetries import factor_orbit
+
+    verdicts: List[Verdict] = []
+    for g in factor_orbit(f):
+        for rule in ALL_RULES:
+            v = rule(g, d, f)
+            if v is not None:
+                verdicts.append(v)
+    return verdicts

@@ -1,0 +1,255 @@
+"""Command-line interface: ``gfc`` (also ``python -m repro.cli``).
+
+Subcommands
+-----------
+``gfc table1``
+    Regenerate Table 1 of the paper and diff it against the printed table.
+``gfc classify F D``
+    Verdict for :math:`Q_D(F) \\hookrightarrow Q_D` (theorems, then brute
+    force with ``--bruteforce``).
+``gfc counts F D``
+    Vertices/edges/squares of :math:`Q_D(F)` via the automaton counters.
+``gfc structure F D``
+    Degree/diameter report (Proposition 6.1 view).
+``gfc network F D``
+    Interconnection metrics + routing/broadcast summary of the topology.
+``gfc ladder D``
+    Verify the Section 8 :math:`\\Theta^*`-ladder of :math:`Q_D(101)`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gfc",
+        description="Generalized Fibonacci cubes: reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="regenerate Table 1 and diff vs the paper")
+    p_table.add_argument("--max-d", type=int, default=9, help="probe dimensions 1..MAX_D")
+
+    p_cls = sub.add_parser("classify", help="embeddability verdict for one (f, d)")
+    p_cls.add_argument("factor")
+    p_cls.add_argument("d", type=int)
+    p_cls.add_argument(
+        "--bruteforce", action="store_true", help="settle UNKNOWN cases computationally"
+    )
+
+    p_cnt = sub.add_parser("counts", help="|V|, |E|, |S| of Q_d(f) (automaton counters)")
+    p_cnt.add_argument("factor")
+    p_cnt.add_argument("d", type=int)
+
+    p_str = sub.add_parser("structure", help="degree/diameter report of Q_d(f)")
+    p_str.add_argument("factor")
+    p_str.add_argument("d", type=int)
+
+    p_net = sub.add_parser("network", help="interconnection metrics of Q_d(f)")
+    p_net.add_argument("factor")
+    p_net.add_argument("d", type=int)
+
+    p_lad = sub.add_parser("ladder", help="verify the Q_d(101) Theta* ladder")
+    p_lad.add_argument("d", type=int)
+
+    p_multi = sub.add_parser(
+        "multifactor", help="order/size/isometry of Q_d(F) for a factor SET"
+    )
+    p_multi.add_argument("factors", help="comma-separated factors, e.g. 111,000")
+    p_multi.add_argument("d", type=int)
+
+    p_poly = sub.add_parser(
+        "cubepoly", help="cube polynomial coefficients of Q_d(f)"
+    )
+    p_poly.add_argument("factor")
+    p_poly.add_argument("d", type=int)
+
+    p_spec = sub.add_parser("spectrum", help="cycle spectrum of Q_d(f)")
+    p_spec.add_argument("factor")
+    p_spec.add_argument("d", type=int)
+
+    p_wie = sub.add_parser(
+        "wiener", help="Wiener index / average distance of Q_d(f)"
+    )
+    p_wie.add_argument("factor")
+    p_wie.add_argument("d", type=int)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "classify":
+        return _cmd_classify(args)
+    if args.command == "counts":
+        return _cmd_counts(args)
+    if args.command == "structure":
+        return _cmd_structure(args)
+    if args.command == "network":
+        return _cmd_network(args)
+    if args.command == "ladder":
+        return _cmd_ladder(args)
+    if args.command == "multifactor":
+        return _cmd_multifactor(args)
+    if args.command == "cubepoly":
+        return _cmd_cubepoly(args)
+    if args.command == "spectrum":
+        return _cmd_spectrum(args)
+    if args.command == "wiener":
+        return _cmd_wiener(args)
+    raise AssertionError("unreachable")
+
+
+def _cmd_multifactor(args) -> int:
+    from repro.cubes.multifactor import MultiFactorCube
+    from repro.graphs.traversal import is_connected
+    from repro.isometry.bruteforce import is_isometric_bfs
+
+    factors = [f for f in args.factors.split(",") if f]
+    cube = MultiFactorCube(factors, args.d)
+    print(f"Q_{args.d}({{{','.join(cube.factors)}}}):")
+    print(f"        vertices: {cube.num_vertices}")
+    print(f"           edges: {cube.num_edges}")
+    print(f"       connected: {is_connected(cube.graph())}")
+    print(f"  isometric in Q: {is_isometric_bfs(cube)}")
+    return 0
+
+
+def _cmd_cubepoly(args) -> int:
+    from repro.invariants.cubepoly import cube_coefficients
+
+    co = cube_coefficients((args.factor, args.d))
+    print(f"C(Q_{args.d}({args.factor}), x) coefficients:")
+    for k, c in enumerate(co):
+        if c or k <= 2:
+            label = {0: "|V|", 1: "|E|", 2: "|S|"}.get(k, f"Q_{k}s")
+            print(f"  c_{k} = {c:<10} ({label})")
+    return 0
+
+
+def _cmd_spectrum(args) -> int:
+    from repro.cubes.generalized import generalized_fibonacci_cube
+    from repro.network.cycles import cycle_spectrum
+
+    g = generalized_fibonacci_cube(args.factor, args.d).graph()
+    spec = cycle_spectrum(g)
+    print(f"cycle lengths of Q_{args.d}({args.factor}): {spec or 'none (acyclic)'}")
+    evens = list(range(4, g.num_vertices + 1, 2))
+    full = all(L in spec for L in evens if L <= (g.num_vertices // 2) * 2)
+    print(f"cycles of every even length up to |V|: {full}")
+    return 0
+
+
+def _cmd_wiener(args) -> int:
+    from repro.invariants.distances import (
+        average_distance,
+        wiener_by_cuts,
+        wiener_index,
+    )
+
+    spec = (args.factor, args.d)
+    w = wiener_index(spec)
+    cuts = wiener_by_cuts(spec)
+    print(f"Wiener index W(Q_{args.d}({args.factor})) = {w}")
+    print(f"average distance = {average_distance(spec):.4f}")
+    print(f"coordinate-cut sum = {cuts} "
+          f"({'matches: isometric' if cuts == w else 'undercounts: NOT isometric'})")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.classify import classification_table, table1_expected
+
+    rows = classification_table(max_d=args.max_d)
+    expected = table1_expected()
+    mismatches = 0
+    for row in rows:
+        want = expected.get(row.f, "-absent-")
+        status = "always" if row.threshold is None else f"iff d <= {row.threshold}"
+        ok = want == row.threshold
+        mismatches += 0 if ok else 1
+        mark = "OK " if ok else "DIFF"
+        print(f"[{mark}] {row.f:>6}  {status:<14} via {', '.join(row.sources)}")
+    print(f"{len(rows)} rows, {mismatches} mismatches vs the paper")
+    return 1 if mismatches else 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.classify import classify, classify_with_bruteforce
+
+    fn = classify_with_bruteforce if args.bruteforce else classify
+    print(str(fn(args.factor, args.d)))
+    return 0
+
+
+def _cmd_counts(args) -> int:
+    from repro.words import (
+        count_edges_automaton,
+        count_squares_automaton,
+        count_vertices_automaton,
+    )
+
+    f, d = args.factor, args.d
+    print(f"|V(Q_{d}({f}))| = {count_vertices_automaton(f, d)}")
+    print(f"|E(Q_{d}({f}))| = {count_edges_automaton(f, d)}")
+    print(f"|S(Q_{d}({f}))| = {count_squares_automaton(f, d)}")
+    return 0
+
+
+def _cmd_structure(args) -> int:
+    from repro.invariants import structure_report
+
+    rep = structure_report((args.factor, args.d))
+    for key, value in vars(rep).items():
+        print(f"{key:>14}: {value}")
+    print(f"  prop 6.1 (max degree = diameter = d): {rep.satisfies_prop_6_1()}")
+    return 0
+
+
+def _cmd_network(args) -> int:
+    from repro.network import (
+        BfsRouter,
+        CanonicalRouter,
+        broadcast_rounds,
+        route_stats,
+        topology_of,
+    )
+
+    topo = topology_of((args.factor, args.d))
+    print(f"topology {topo.name}")
+    for key, value in topo.metrics().items():
+        print(f"{key:>24}: {value}")
+    for router in (BfsRouter(), CanonicalRouter()):
+        stats = route_stats(topo, router)
+        print(
+            f"router {stats.router:>10}: delivery {stats.delivery_rate:.3f}, "
+            f"optimal {stats.optimality_rate:.3f}, stretch {stats.stretch:.3f}"
+        )
+    rounds, bound = broadcast_rounds(topo, 0)
+    print(f"broadcast rounds from node 0: {rounds} (lower bound {bound})")
+    return 0
+
+
+def _cmd_ladder(args) -> int:
+    from repro.conjectures import q101_ladder_certificate
+
+    cert = q101_ladder_certificate(args.d)
+    print(f"Q_{args.d}(101): Theta* ladder verified, {len(cert.rungs)} rungs")
+    for top, bottom in cert.rungs:
+        print(f"  {top}")
+        print(f"  {bottom}")
+        print("  --")
+    print("e and g are Theta*-related but NOT Theta-related => not a partial cube")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

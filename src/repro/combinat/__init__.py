@@ -1,0 +1,39 @@
+"""Combinatorial substrate: Fibonacci-family sequences and linear recurrences.
+
+The enumerative results of Section 6 of the paper are phrased in terms of
+Fibonacci numbers (convention :math:`F_1 = F_2 = 1`), convolutions
+:math:`\\sum F_i F_{d+2-i}`, and linear recurrences with constant
+coefficients (Tribonacci-type for :math:`Q_d(111)`).  This package holds
+exact integer implementations of all of them.
+"""
+
+from repro.combinat.sequences import (
+    fibonacci,
+    fibonacci_pair,
+    kbonacci,
+    lucas_number,
+    tribonacci,
+)
+from repro.combinat.recurrence import LinearRecurrence, AffineRecurrence
+from repro.combinat.identities import (
+    fibonacci_convolution,
+    fibonacci_convolution_closed,
+    gamma_edge_count,
+    gamma_square_count,
+    gamma_vertex_count,
+)
+
+__all__ = [
+    "fibonacci",
+    "fibonacci_pair",
+    "kbonacci",
+    "lucas_number",
+    "tribonacci",
+    "LinearRecurrence",
+    "AffineRecurrence",
+    "fibonacci_convolution",
+    "fibonacci_convolution_closed",
+    "gamma_edge_count",
+    "gamma_square_count",
+    "gamma_vertex_count",
+]

@@ -1,0 +1,90 @@
+"""Fibonacci identities and Fibonacci-cube counting formulas.
+
+These are the closed forms the paper leans on:
+
+- the convolution :math:`\\sum_{i=1}^{d+1} F_i F_{d+2-i}` and its closed
+  form :math:`((d+1) F_{d+2} + 2 (d+2) F_{d+1}) / 5` (used right after
+  Proposition 6.2, citing [12, Corollary 4]);
+- order, size and square counts of the Fibonacci cube
+  :math:`\\Gamma_d = Q_d(11)`:
+
+  .. math::
+     |V(\\Gamma_d)| = F_{d+2}, \\qquad
+     |E(\\Gamma_d)| = \\frac{d F_{d+1} + 2 (d+1) F_d}{5}.
+
+  The square count matches :math:`|S(Q_{d-1}(110))|` (final remark of the
+  paper), giving
+
+  .. math::
+     |S(\\Gamma_d)| = -\\frac{3d}{25} F_{d+1}
+       + \\Big(\\frac{d^2}{10} + \\frac{3d}{50} - \\frac{1}{25}\\Big) F_d .
+
+All functions compute with :class:`fractions.Fraction` internally and
+assert integrality, so a convention slip fails loudly instead of rounding.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.combinat.sequences import fibonacci
+
+__all__ = [
+    "fibonacci_convolution",
+    "fibonacci_convolution_closed",
+    "gamma_vertex_count",
+    "gamma_edge_count",
+    "gamma_square_count",
+]
+
+
+def _as_int(x: Fraction, what: str) -> int:
+    if x.denominator != 1:
+        raise ArithmeticError(f"{what} evaluated to non-integer {x}")
+    return x.numerator
+
+
+def fibonacci_convolution(d: int) -> int:
+    """:math:`\\sum_{i=1}^{d+1} F_i F_{d+2-i}` by direct summation."""
+    if d < 0:
+        raise ValueError(f"d must be non-negative, got {d}")
+    return sum(fibonacci(i) * fibonacci(d + 2 - i) for i in range(1, d + 2))
+
+
+def fibonacci_convolution_closed(d: int) -> int:
+    """Closed form :math:`((d+1) F_{d+2} + 2(d+2) F_{d+1}) / 5` of the convolution."""
+    if d < 0:
+        raise ValueError(f"d must be non-negative, got {d}")
+    value = Fraction((d + 1) * fibonacci(d + 2) + 2 * (d + 2) * fibonacci(d + 1), 5)
+    return _as_int(value, "Fibonacci convolution closed form")
+
+
+def gamma_vertex_count(d: int) -> int:
+    """:math:`|V(\\Gamma_d)| = F_{d+2}` (order of the Fibonacci cube)."""
+    if d < 0:
+        raise ValueError(f"d must be non-negative, got {d}")
+    return fibonacci(d + 2)
+
+
+def gamma_edge_count(d: int) -> int:
+    """:math:`|E(\\Gamma_d)| = (d F_{d+1} + 2(d+1) F_d)/5` ([12, Corollary 4])."""
+    if d < 0:
+        raise ValueError(f"d must be non-negative, got {d}")
+    value = Fraction(d * fibonacci(d + 1) + 2 * (d + 1) * fibonacci(d), 5)
+    return _as_int(value, "Fibonacci cube edge count")
+
+
+def gamma_square_count(d: int) -> int:
+    """Number of squares (4-cycles) of the Fibonacci cube :math:`\\Gamma_d`.
+
+    Obtained from Proposition 6.3 through the paper's final-remark identity
+    :math:`|S(\\Gamma_{d+1})| = |S(Q_d(110))|`.
+    """
+    if d < 0:
+        raise ValueError(f"d must be non-negative, got {d}")
+    if d == 0:
+        return 0
+    coeff_a = Fraction(-3 * d, 25)
+    coeff_b = Fraction(d * d, 10) + Fraction(3 * d, 50) - Fraction(1, 25)
+    value = coeff_a * fibonacci(d + 1) + coeff_b * fibonacci(d)
+    return _as_int(value, "Fibonacci cube square count")

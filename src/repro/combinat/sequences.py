@@ -1,0 +1,80 @@
+"""Fibonacci-family integer sequences (exact, fast-doubling based).
+
+Conventions follow the paper: :math:`F_1 = F_2 = 1` (so :math:`F_0 = 0`).
+Lucas numbers use :math:`L_0 = 2, L_1 = 1`.  The k-bonacci numbers
+generalize the recurrence to order ``k``; they count binary words avoiding
+the factor :math:`1^k`, i.e. the orders of the Hsu--Liu generalized
+Fibonacci cubes :math:`Q_d(1^k)`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+__all__ = [
+    "fibonacci",
+    "fibonacci_pair",
+    "lucas_number",
+    "tribonacci",
+    "kbonacci",
+]
+
+
+def fibonacci_pair(n: int) -> Tuple[int, int]:
+    """Return ``(F_n, F_{n+1})`` by fast doubling; ``O(log n)`` multiplies."""
+    if n < 0:
+        raise ValueError(f"index must be non-negative, got {n}")
+    if n == 0:
+        return (0, 1)
+    a, b = fibonacci_pair(n >> 1)
+    c = a * (2 * b - a)          # F_{2k}
+    d = a * a + b * b            # F_{2k+1}
+    if n & 1:
+        return (d, c + d)
+    return (c, d)
+
+
+def fibonacci(n: int) -> int:
+    """Fibonacci number :math:`F_n` with :math:`F_0 = 0, F_1 = F_2 = 1`."""
+    return fibonacci_pair(n)[0]
+
+
+def lucas_number(n: int) -> int:
+    """Lucas number :math:`L_n` with :math:`L_0 = 2, L_1 = 1`.
+
+    Identity used: :math:`L_n = F_{n-1} + F_{n+1}` for :math:`n \\ge 1`.
+    """
+    if n < 0:
+        raise ValueError(f"index must be non-negative, got {n}")
+    if n == 0:
+        return 2
+    fn_minus, fn = fibonacci_pair(n - 1)
+    fn_plus = fn + fn_minus
+    return fn_minus + fn_plus
+
+
+def tribonacci(n: int) -> int:
+    """Tribonacci numbers ``T_0 = 0, T_1 = T_2 = 1`` (order-3 Fibonacci)."""
+    return kbonacci(3, n)
+
+
+@lru_cache(maxsize=None)
+def _kbonacci_prefix(k: int, upto: int) -> Tuple[int, ...]:
+    vals: List[int] = [0] * (k - 1) + [1]
+    while len(vals) <= upto:
+        vals.append(sum(vals[-k:]))
+    return tuple(vals)
+
+
+def kbonacci(k: int, n: int) -> int:
+    """k-bonacci number with initial segment ``0, ..., 0, 1`` (k-1 zeros).
+
+    For ``k = 2`` this is :func:`fibonacci`; for ``k = 3`` it is
+    :func:`tribonacci`.  Satisfies ``a(n) = a(n-1) + ... + a(n-k)``.
+    """
+    if k < 2:
+        raise ValueError(f"order must be at least 2, got {k}")
+    if n < 0:
+        raise ValueError(f"index must be non-negative, got {n}")
+    return _kbonacci_prefix(k, n)[n]

@@ -1,0 +1,18 @@
+"""Section 8: conjectures, problems, and the worked :math:`Q_d(101)` example.
+
+- :mod:`repro.conjectures.conj81` -- experimental harness for
+  Conjecture 8.1 (``Q_d(f)`` isometric implies ``Q_d(ff)`` isometric);
+- :mod:`repro.conjectures.q101` -- the paper's :math:`\\Theta^*`-ladder
+  argument that :math:`Q_d(101)` (``d >= 4``) is an isometric subgraph of
+  **no** hypercube (Problem 8.3 evidence), machine-checked.
+"""
+
+from repro.conjectures.conj81 import Conjecture81Case, sweep_conjecture_81
+from repro.conjectures.q101 import q101_ladder_certificate, q101_not_partial_cube
+
+__all__ = [
+    "Conjecture81Case",
+    "sweep_conjecture_81",
+    "q101_ladder_certificate",
+    "q101_not_partial_cube",
+]

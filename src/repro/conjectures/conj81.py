@@ -1,0 +1,78 @@
+"""Conjecture 8.1: if :math:`Q_d(f) \\hookrightarrow Q_d` then
+:math:`Q_d(ff) \\hookrightarrow Q_d`.
+
+The conjecture would wholesale enlarge the embeddable families (e.g. from
+Theorem 4.4's :math:`(10)^s` one would get :math:`(10)^{2s}`, already
+known, but also e.g. ``11011011`` from ``1101``... careful: the premise
+is *per-d*).  We read it as the paper states it -- for each ``d``
+separately -- and sweep all factors up to a given length, recording
+support or counterexamples.  This is experimental evidence only: a clean
+sweep proves nothing, a single violation would refute the conjecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.classify.engine import classify_with_bruteforce
+from repro.classify.verdict import Status
+from repro.words.core import all_words
+
+__all__ = ["Conjecture81Case", "sweep_conjecture_81"]
+
+
+@dataclass(frozen=True)
+class Conjecture81Case:
+    """One data point of the sweep.
+
+    ``premise``/``conclusion`` are the embeddability of :math:`Q_d(f)`
+    and :math:`Q_d(ff)`; the conjecture is violated exactly when
+    ``premise`` holds and ``conclusion`` fails.
+    """
+
+    f: str
+    d: int
+    premise: bool
+    conclusion: bool
+
+    @property
+    def violates(self) -> bool:
+        return self.premise and not self.conclusion
+
+    @property
+    def supports(self) -> bool:
+        """Non-vacuous support: premise and conclusion both hold."""
+        return self.premise and self.conclusion
+
+
+def sweep_conjecture_81(
+    max_factor_length: int = 4, max_d: int = 9
+) -> List[Conjecture81Case]:
+    """Test Conjecture 8.1 for every ``f`` up to the given length and every
+    ``d`` up to ``max_d`` (embeddability settled by theorems + brute force).
+
+    Returns every non-vacuous case (premise true).  The E12 benchmark
+    prints the tally; the test-suite asserts no violation in range.
+    """
+    cases: List[Conjecture81Case] = []
+    for f in _factors(max_factor_length):
+        for d in range(1, max_d + 1):
+            v1 = classify_with_bruteforce(f, d)
+            if v1.status is Status.UNKNOWN:
+                continue
+            premise = v1.status is Status.ISOMETRIC
+            if not premise:
+                continue
+            v2 = classify_with_bruteforce(f + f, d)
+            if v2.status is Status.UNKNOWN:
+                continue
+            cases.append(
+                Conjecture81Case(f, d, premise, v2.status is Status.ISOMETRIC)
+            )
+    return cases
+
+
+def _factors(max_len: int) -> Iterator[str]:
+    for length in range(1, max_len + 1):
+        yield from all_words(length)

@@ -1,0 +1,44 @@
+"""Section 7: the ``f``-dimension of a graph.
+
+For a string ``f`` with :math:`Q_d(f) \\hookrightarrow Q_d` for all ``d``
+(an *admissible* string), ``dim_f(G)`` is the least ``d`` such that ``G``
+embeds isometrically into :math:`Q_d(f)`; ``idim(G)`` (the isometric
+dimension) is the hypercube case.  Proposition 7.1 shows
+``dim_f(G) < \\infty`` iff ``idim(G) < \\infty`` with the sandwich
+
+.. math:: idim(G) \\le dim_f(G) \\le 3\\,idim(G) - 2,
+
+via explicit bit-spreading constructions that this package implements and
+verifies.
+
+- :mod:`repro.dimension.embedding` -- backtracking isometric-embedding
+  search ``G -> H`` with distance-matrix pruning (exact, for small ``G``);
+- :mod:`repro.dimension.fdim` -- ``dim_f`` (exact search + Prop 7.1
+  bounds), admissibility of ``f``, the spreading maps of the proof;
+- :mod:`repro.dimension.inverse` -- the inverse dimension
+  ``dim^{-1}_f(G)`` = the largest ``d`` with
+  :math:`Q_d(f) \\hookrightarrow G` (studied in [3] for ``f = 11``).
+"""
+
+from repro.dimension.embedding import find_isometric_embedding, is_isometrically_embeddable
+from repro.dimension.fdim import (
+    f_dimension,
+    is_admissible_factor,
+    isometric_dimension,
+    prop71_upper_bound_embedding,
+)
+from repro.dimension.inverse import inverse_dimension
+from repro.dimension.lattice import lattice_dimension, semicube_graph, semicubes
+
+__all__ = [
+    "find_isometric_embedding",
+    "is_isometrically_embeddable",
+    "f_dimension",
+    "is_admissible_factor",
+    "isometric_dimension",
+    "prop71_upper_bound_embedding",
+    "inverse_dimension",
+    "lattice_dimension",
+    "semicube_graph",
+    "semicubes",
+]

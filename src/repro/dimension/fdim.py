@@ -1,0 +1,142 @@
+"""The ``f``-dimension ``dim_f(G)`` and Proposition 7.1.
+
+``dim_f(G)`` is defined when ``f`` is *admissible* -- i.e.
+:math:`Q_d(f) \\hookrightarrow Q_d` for **all** ``d`` -- and equals the
+least ``d`` with :math:`G \\hookrightarrow Q_d(f)`.  ``dim_11`` is the
+Fibonacci dimension of [2]; ``idim`` is the hypercube case.
+
+Proposition 7.1 (implemented constructively here): for admissible
+``f ∉ {1, 0, 10, 01}`` and connected ``G``,
+
+.. math:: idim(G) \\le dim_f(G) \\le 3\\,idim(G) - 2,
+
+with the upper bound witnessed by *spreading* a canonical hypercube
+embedding: insert a constant 0 between coordinates when ``11`` is a
+factor of ``f`` (giving :math:`2\\,idim - 1`), a constant 1 when ``00``
+is (same length), and the pair ``00`` when ``f`` alternates (giving
+:math:`3\\,idim - 2`; an alternating admissible ``f`` has two 1s at
+distance two, which spread words never contain).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.classify.engine import classify
+from repro.classify.rules import applicable_rules
+from repro.classify.verdict import Status
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.dimension.embedding import find_isometric_embedding
+from repro.graphs.core import Graph
+from repro.graphs.traversal import all_pairs_distances
+from repro.isometry.theta import hypercube_coordinates, idim
+from repro.words.core import contains_factor, hamming
+
+__all__ = [
+    "isometric_dimension",
+    "is_admissible_factor",
+    "f_dimension",
+    "prop71_upper_bound_embedding",
+]
+
+
+def isometric_dimension(graph: Graph) -> Optional[int]:
+    """``idim(G)``: least ``d`` with :math:`G \\hookrightarrow Q_d`
+    (``None`` when no hypercube hosts ``G``)."""
+    return idim(graph)
+
+
+#: factors proved isometric for every d by the paper (orbit-closed rules)
+_ALWAYS_SOURCES = (
+    "Proposition 3.1",
+    "Theorem 3.3(i)",
+    "Theorem 4.3",
+    "Theorem 4.4",
+    "Proposition 5.1",
+)
+
+
+def is_admissible_factor(f: str, probe_up_to: int = 12) -> Optional[bool]:
+    """Is ``f`` admissible (isometric for **all** ``d``)?
+
+    ``True`` when one of the paper's always-isometric families matches an
+    orbit representative; ``False`` when any rule reports NOT isometric
+    for some probed ``d``; ``None`` when the theorems are silent (a
+    finite probe cannot certify all ``d``).
+    """
+    for d in range(1, probe_up_to + 1):
+        for v in applicable_rules(f, d):
+            if v.status is Status.NOT_ISOMETRIC:
+                return False
+            if v.status is Status.ISOMETRIC and v.source in _ALWAYS_SOURCES:
+                return True
+    return None
+
+
+def f_dimension(
+    graph: Graph,
+    f: str,
+    *,
+    require_admissible: bool = True,
+    node_budget: int = 2_000_000,
+) -> Optional[int]:
+    """``dim_f(G)``: least ``d`` with :math:`G \\hookrightarrow Q_d(f)`.
+
+    Returns ``None`` when ``idim(G)`` is infinite (then ``dim_f`` is too,
+    by Proposition 7.1).  Searches ``d`` upward from the ``idim`` lower
+    bound; by the Proposition 7.1 upper bound the search is capped at
+    ``3 idim - 2``, and failure to find an embedding by then raises --
+    that would falsify the proposition.
+    """
+    if require_admissible and is_admissible_factor(f) is not True:
+        raise ValueError(
+            f"f={f!r} is not known to be admissible; dim_f may be ill-defined "
+            "(pass require_admissible=False to try anyway)"
+        )
+    d0 = idim(graph)
+    if d0 is None:
+        return None
+    if d0 == 0:
+        return 0
+    upper = 3 * d0 - 2
+    for d in range(d0, upper + 1):
+        host = generalized_fibonacci_cube(f, d).graph()
+        if find_isometric_embedding(graph, host, node_budget=node_budget) is not None:
+            return d
+    raise AssertionError(
+        f"no embedding of G into Q_d({f}) for d up to {upper}; "
+        "this contradicts Proposition 7.1"
+    )
+
+
+def prop71_upper_bound_embedding(graph: Graph, f: str) -> Tuple[List[str], int]:
+    """The explicit Proposition 7.1 embedding of ``G`` into a
+    :math:`Q_{d'}(f)`.
+
+    Returns ``(words, d')`` where ``words[u]`` is the image of vertex
+    ``u`` and ``d'`` is ``2 idim - 1`` (factor contains 11 or 00) or
+    ``3 idim - 2`` (alternating factor).  The construction is verified on
+    the way out: images avoid ``f`` and pairwise Hamming distances equal
+    graph distances; a failure raises :class:`AssertionError`.
+    """
+    if f in ("0", "1", "01", "10"):
+        raise ValueError("Proposition 7.1 excludes f in {0, 1, 01, 10}")
+    coords = hypercube_coordinates(graph)  # raises when idim(G) = infinity
+    if contains_factor(f, "11"):
+        spread = ["0".join(w) for w in coords]
+    elif contains_factor(f, "00"):
+        spread = ["1".join(w) for w in coords]
+    else:
+        spread = ["00".join(w) for w in coords]
+    d_prime = len(spread[0]) if spread else 0
+    dist = all_pairs_distances(graph)
+    n = graph.num_vertices
+    for u in range(n):
+        if contains_factor(spread[u], f):
+            raise AssertionError(
+                f"Prop 7.1 image {spread[u]} contains forbidden factor {f}"
+            )
+        for v in range(u + 1, n):
+            if hamming(spread[u], spread[v]) != int(dist[u, v]):
+                raise AssertionError("Prop 7.1 spreading failed to preserve distances")
+    return spread, d_prime

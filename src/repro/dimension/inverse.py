@@ -1,0 +1,37 @@
+"""Inverse dimension ``dim^{-1}_f(G)`` (Section 7, after Prop. 7.1).
+
+``dim^{-1}_f(G)`` is the largest ``d`` such that :math:`Q_d(f)` embeds
+isometrically into ``G``.  For ``f = 11`` (Fibonacci cubes into
+hypercubes) deciding it is NP-complete [3]; our implementation is the
+exact exponential search, adequate for the small corpus of the E10
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.dimension.embedding import find_isometric_embedding
+from repro.graphs.core import Graph
+
+__all__ = ["inverse_dimension"]
+
+
+def inverse_dimension(
+    graph: Graph, f: str, d_max: int = 16, node_budget: int = 2_000_000
+) -> Optional[int]:
+    """Largest ``d <= d_max`` with :math:`Q_d(f) \\hookrightarrow G`.
+
+    Returns ``None`` when not even :math:`Q_1(f)` (an edge or a vertex)
+    embeds.  Stops early once :math:`Q_d(f)` outgrows ``G``.
+    """
+    best: Optional[int] = None
+    for d in range(1, d_max + 1):
+        cube = generalized_fibonacci_cube(f, d)
+        if cube.num_vertices > graph.num_vertices:
+            break
+        phi = find_isometric_embedding(cube.graph(), graph, node_budget=node_budget)
+        if phi is not None:
+            best = d
+    return best

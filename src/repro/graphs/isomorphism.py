@@ -1,0 +1,113 @@
+"""Isomorphism testing for small graphs.
+
+Used by the tests of Lemmas 2.2 and 2.3 (``Q_d(f) ≅ Q_d(f̄) ≅ Q_d(f^R)``)
+and a few sanity checks.  The algorithm is standard: iterated degree
+refinement (1-dimensional Weisfeiler--Leman) to produce a colouring, then
+backtracking search restricted to colour classes.  It is exact -- the
+refinement only prunes -- and perfectly adequate for the graph sizes the
+tests use (hundreds of vertices).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.core import Graph
+
+__all__ = ["are_isomorphic", "find_isomorphism", "refine_colors"]
+
+
+def refine_colors(graph: Graph, max_rounds: int = 64) -> Tuple[int, ...]:
+    """Stable colouring by iterated neighbour-multiset refinement (1-WL).
+
+    Palette IDs are assigned by *sorted* signature, so they are canonical:
+    two different graphs produce comparable colour values, which the
+    isomorphism search relies on to match colour classes across graphs.
+    """
+    n = graph.num_vertices
+    colors: List[int] = [graph.degree(u) for u in range(n)]
+    for _ in range(max_rounds):
+        signatures = [
+            (colors[u], tuple(sorted(colors[v] for v in graph.neighbors(u))))
+            for u in range(n)
+        ]
+        palette: Dict[Tuple, int] = {
+            sig: i for i, sig in enumerate(sorted(set(signatures)))
+        }
+        new_colors = [palette[sig] for sig in signatures]
+        if new_colors == colors:
+            break
+        colors = new_colors
+    return tuple(colors)
+
+
+def _color_histogram(colors: Tuple[int, ...]) -> Dict[int, int]:
+    hist: Dict[int, int] = {}
+    for c in colors:
+        hist[c] = hist.get(c, 0) + 1
+    return hist
+
+
+def find_isomorphism(g: Graph, h: Graph) -> Optional[List[int]]:
+    """A vertex bijection ``phi`` with ``phi: V(g) -> V(h)`` preserving edges,
+    or ``None`` when the graphs are not isomorphic.
+
+    Exponential worst case, fine for the small certified graphs in the
+    test-suite.  The returned list satisfies
+    ``h.has_edge(phi[u], phi[v]) == g.has_edge(u, v)`` for all pairs.
+    """
+    n = g.num_vertices
+    if n != h.num_vertices or g.num_edges != h.num_edges:
+        return None
+    cg = refine_colors(g)
+    ch = refine_colors(h)
+    if _color_histogram(cg) != _color_histogram(ch):
+        return None
+    # order g's vertices: most-constrained (rarest colour, highest degree) first
+    hist = _color_histogram(cg)
+    order = sorted(range(n), key=lambda u: (hist[cg[u]], -g.degree(u)))
+    candidates: List[List[int]] = [
+        [v for v in range(n) if ch[v] == cg[u]] for u in order
+    ]
+    phi: List[int] = [-1] * n
+    used = [False] * n
+
+    def backtrack(k: int) -> bool:
+        if k == n:
+            return True
+        u = order[k]
+        for v in candidates[k]:
+            if used[v]:
+                continue
+            ok = True
+            for w in g.neighbors(u):
+                pw = phi[w]
+                if pw != -1 and not h.has_edge(v, pw):
+                    ok = False
+                    break
+            if ok:
+                # also ensure no extra edges appear: every mapped neighbour of
+                # v must be the image of a neighbour of u
+                mapped_nbrs = sum(1 for x in h.neighbors(v) if x in _mapped)
+                mapped_g_nbrs = sum(1 for w in g.neighbors(u) if phi[w] != -1)
+                if mapped_nbrs != mapped_g_nbrs:
+                    continue
+                phi[u] = v
+                used[v] = True
+                _mapped.add(v)
+                if backtrack(k + 1):
+                    return True
+                phi[u] = -1
+                used[v] = False
+                _mapped.discard(v)
+        return False
+
+    _mapped: set = set()
+    if backtrack(0):
+        return phi
+    return None
+
+
+def are_isomorphic(g: Graph, h: Graph) -> bool:
+    """Boolean isomorphism test (see :func:`find_isomorphism`)."""
+    return find_isomorphism(g, h) is not None

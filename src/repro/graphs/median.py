@@ -1,0 +1,91 @@
+"""Medians and median graphs (Section 6, Proposition 6.4).
+
+A connected graph ``G`` is a *median graph* when every vertex triple
+``u, v, w`` has a unique vertex in
+:math:`I(u,v) \\cap I(u,w) \\cap I(v,w)` -- the *median* of the triple.
+Mulder's theorem (cited as [16]): a connected graph is a median graph iff
+it is a median closed induced subgraph of a hypercube; inside a hypercube
+the median of three words is their bitwise majority.  Both views are
+implemented: the generic interval-intersection test on :class:`Graph`, and
+the fast bitwise-majority closure test used for subgraphs of ``Q_d``
+(:func:`repro.cubes.generalized` wires it up).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graphs.core import Graph
+from repro.graphs.traversal import all_pairs_distances
+
+__all__ = [
+    "triple_intervals_intersection",
+    "median_of_triple",
+    "is_median_graph",
+    "majority_word",
+]
+
+
+def triple_intervals_intersection(
+    graph: Graph, u: int, v: int, w: int, dist: Optional[np.ndarray] = None
+) -> List[int]:
+    """Vertices in :math:`I(u,v) \\cap I(u,w) \\cap I(v,w)`.
+
+    ``dist`` may carry a precomputed all-pairs matrix to amortize the BFS
+    cost over many triples.
+    """
+    if dist is None:
+        dist = all_pairs_distances(graph)
+    du, dv, dw = dist[u], dist[v], dist[w]
+    in_uv = du + dv == dist[u][v]
+    in_uw = du + dw == dist[u][w]
+    in_vw = dv + dw == dist[v][w]
+    return np.flatnonzero(in_uv & in_uw & in_vw).tolist()
+
+
+def median_of_triple(
+    graph: Graph, u: int, v: int, w: int, dist: Optional[np.ndarray] = None
+) -> Optional[int]:
+    """The median vertex of the triple, or ``None`` when not unique/absent."""
+    hits = triple_intervals_intersection(graph, u, v, w, dist)
+    return hits[0] if len(hits) == 1 else None
+
+
+def is_median_graph(graph: Graph) -> bool:
+    """Exact (cubic-time) median-graph test by checking every triple.
+
+    Intended for the small certificates in tests; the paper-scale checks
+    on cube subgraphs go through :func:`majority_word` closure instead.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return False
+    dist = all_pairs_distances(graph)
+    if (dist < 0).any():
+        return False  # median graphs are connected
+    for u in range(n):
+        for v in range(u, n):
+            duv = dist[u] + dist[v] == dist[u][v]
+            for w in range(v, n):
+                count = int(
+                    (
+                        duv
+                        & (dist[u] + dist[w] == dist[u][w])
+                        & (dist[v] + dist[w] == dist[v][w])
+                    ).sum()
+                )
+                if count != 1:
+                    return False
+    return True
+
+
+def majority_word(a: int, b: int, c: int) -> int:
+    """Bitwise majority of three words given as integer codes.
+
+    Inside the hypercube the majority word is the unique candidate median
+    of the triple; a subgraph of :math:`Q_d` is median closed iff it is
+    closed under this operation (used by Proposition 6.4's test).
+    """
+    return (a & b) | (a & c) | (b & c)

@@ -1,0 +1,83 @@
+"""Proposition 6.4: median-closed generalized Fibonacci cubes.
+
+The only median closed :math:`Q_d(f)` with ``|f| >= 2`` and ``d >= |f|``
+are those with ``|f| = 2``: the paths :math:`Q_d(10), Q_d(01)` and the
+Fibonacci cubes :math:`Q_d(11) \\cong Q_d(00)`.  For ``|f| >= 3`` the
+proof constructs an explicit triple ``x, y, z`` of vertices, pairwise at
+distance 2, whose unique median candidate contains ``f`` -- implemented
+(and verified) by :func:`median_certificate_triple`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.graphs.median import majority_word
+from repro.words.core import complement, contains_factor, hamming, validate_word
+from repro.words.core import word_to_int
+
+__all__ = ["is_median_closed", "median_certificate_triple"]
+
+
+def is_median_closed(f: str, d: int) -> bool:
+    """Whether :math:`Q_d(f)` is closed under medians inside :math:`Q_d`.
+
+    Direct bitwise-majority closure test on the actual vertex set (cubic
+    in the order -- keep ``d`` moderate).
+    """
+    return generalized_fibonacci_cube(f, d).is_median_closed()
+
+
+def median_certificate_triple(f: str, d: int) -> Tuple[str, str, str, str]:
+    """The Proposition 6.4 certificate for ``|f| >= 3`` and ``d >= |f|``.
+
+    With ``g`` the complement of the last letter of ``f`` and ``pad`` a run
+    of ``d - |f|`` copies of ``g``, set ``m = f + pad`` (not a vertex: it
+    starts with ``f``) and take ``x, y, z`` to be ``m`` with a *single*
+    bit complemented, at three distinct positions inside the ``f``-prefix
+    (the last three positions of the prefix -- any three work; ``|f| >= 3``
+    is exactly what makes three such positions available).
+
+    Each of ``x, y, z`` avoids ``f``: an occurrence ending inside the pad
+    would need its last letter to be ``f``'s last letter, but every pad
+    letter is its complement; an occurrence inside the prefix would have
+    to be the whole prefix, which carries the flipped bit.  The three are
+    pairwise at distance 2, and their bitwise majority -- the unique
+    median candidate in :math:`Q_d` -- is ``m`` itself, which is missing.
+
+    Returns ``(x, y, z, median)`` after verifying all of that; raises
+    :class:`ValueError` on misuse (``|f| < 3`` or ``d < |f|``).
+    """
+    validate_word(f, name="forbidden factor")
+    if len(f) < 3:
+        raise ValueError("certificate exists only for |f| >= 3")
+    if d < len(f):
+        raise ValueError(f"need d >= |f|, got d={d}, |f|={len(f)}")
+    g = complement(f[-1])
+    pad = g * (d - len(f))
+    m = f + pad
+
+    def flip_at(word: str, i: int) -> str:
+        return word[:i] + complement(word[i]) + word[i + 1 :]
+
+    n = len(f)
+    x = flip_at(m, n - 1)
+    y = flip_at(m, n - 2)
+    z = flip_at(m, n - 3)
+    median = majority_word(word_to_int(x), word_to_int(y), word_to_int(z))
+    median_word = format(median, f"0{d}b")
+    # verification (the proof's content, checked mechanically)
+    for w in (x, y, z):
+        if contains_factor(w, f):
+            raise AssertionError(f"certificate vertex {w} contains {f}")
+    for a, b in ((x, y), (x, z), (y, z)):
+        if hamming(a, b) != 2:
+            raise AssertionError(f"certificate pair {a},{b} not at distance 2")
+    if median_word != f + pad:
+        raise AssertionError(
+            f"median candidate {median_word} differs from expected {f + pad}"
+        )
+    if not contains_factor(median_word, f):
+        raise AssertionError("median candidate unexpectedly avoids f")
+    return (x, y, z, median_word)

@@ -1,0 +1,52 @@
+"""Isometric-embedding machinery.
+
+- :mod:`repro.isometry.bruteforce` -- reference BFS check that
+  :math:`Q_d(f) \\hookrightarrow Q_d` (subgraph distances = Hamming);
+- :mod:`repro.isometry.vectorized` -- NumPy dynamic program over vertex
+  pairs ordered by Hamming distance (the fast engine, also the one that
+  produces p-critical certificates);
+- :mod:`repro.isometry.critical` -- p-critical words (Lemma 2.4): search
+  and the paper's constructive certificates for Props 3.2, 4.1, 4.2 and
+  Theorem 3.3;
+- :mod:`repro.isometry.theta` -- Djoković--Winkler relation
+  :math:`\\Theta`, its transitive closure :math:`\\Theta^*`, Winkler's
+  partial-cube recognition, isometric dimension ``idim`` and the
+  canonical hypercube coordinatization.
+"""
+
+from repro.isometry.bruteforce import (
+    is_isometric_bfs,
+    isometric_defect,
+    subgraph_distances,
+)
+from repro.isometry.vectorized import is_isometric_dp, isometry_report
+from repro.isometry.critical import (
+    CriticalPair,
+    find_critical_pair,
+    paper_critical_pair,
+    verify_critical_pair,
+)
+from repro.isometry.theta import (
+    idim,
+    hypercube_coordinates,
+    is_partial_cube,
+    theta_classes,
+    theta_matrix,
+)
+
+__all__ = [
+    "is_isometric_bfs",
+    "isometric_defect",
+    "subgraph_distances",
+    "is_isometric_dp",
+    "isometry_report",
+    "CriticalPair",
+    "find_critical_pair",
+    "paper_critical_pair",
+    "verify_critical_pair",
+    "idim",
+    "hypercube_coordinates",
+    "is_partial_cube",
+    "theta_classes",
+    "theta_matrix",
+]

@@ -1,0 +1,98 @@
+"""Reference isometry check: per-vertex BFS against Hamming distance.
+
+:math:`Q_d(f) \\hookrightarrow Q_d` means that for every pair of vertices
+``b, c`` of :math:`Q_d(f)` the distance *inside the subgraph* equals the
+Hamming distance.  This module measures it directly: run a BFS from each
+vertex within the subgraph and compare.  It is the ground-truth engine
+(clear, obviously correct) that the vectorised DP in
+:mod:`repro.isometry.vectorized` is validated against, and it doubles as
+the "computer check" re-implementation for the paper's Table 1 footnotes
+(experiment E7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cubes.generalized import GeneralizedFibonacciCube, generalized_fibonacci_cube
+from repro.graphs.traversal import bfs_distances, bfs_distances_csr
+
+__all__ = ["subgraph_distances", "is_isometric_bfs", "isometric_defect"]
+
+CubeLike = Union[GeneralizedFibonacciCube, Tuple[str, int]]
+
+
+def _as_cube(cube: CubeLike):
+    """Accept an ``(f, d)`` pair or any cube-shaped object.
+
+    Duck typing (``codes``, ``d``, ``graph()``, ``word_of``) lets the same
+    engines run on :class:`~repro.cubes.multifactor.MultiFactorCube` and
+    other hypercube-subgraph wrappers.
+    """
+    if isinstance(cube, tuple):
+        f, d = cube
+        return generalized_fibonacci_cube(f, d)
+    if all(hasattr(cube, attr) for attr in ("codes", "d", "graph", "word_of")):
+        return cube
+    raise TypeError(f"not a cube-like object: {cube!r}")
+
+
+def subgraph_distances(cube: CubeLike, source_index: int) -> np.ndarray:
+    """BFS distances from a vertex, measured inside :math:`Q_d(f)`."""
+    cube = _as_cube(cube)
+    g = cube.graph()
+    engine = bfs_distances_csr if g.num_vertices >= 256 else bfs_distances
+    return engine(g, source_index)
+
+
+def hamming_row(cube: GeneralizedFibonacciCube, source_index: int) -> np.ndarray:
+    """Hamming distances from a vertex to all vertices (host-cube metric)."""
+    xor = cube.codes ^ cube.codes[source_index]
+    return popcount64(xor)
+
+
+def popcount64(values: np.ndarray) -> np.ndarray:
+    """Vectorised popcount for non-negative ``int64`` arrays."""
+    v = values.astype(np.uint64)
+    out = np.zeros(v.shape, dtype=np.int64)
+    while True:
+        nz = v != 0
+        if not nz.any():
+            break
+        out += (v & np.uint64(1)).astype(np.int64)
+        v >>= np.uint64(1)
+    return out
+
+
+def is_isometric_bfs(cube: CubeLike) -> bool:
+    """``True`` iff :math:`Q_d(f) \\hookrightarrow Q_d` (reference engine).
+
+    Early-exits on the first vertex whose BFS row deviates from its
+    Hamming row (including unreachable vertices, i.e. a disconnected
+    subgraph is never isometric unless it has at most one vertex).
+    """
+    return isometric_defect(cube) is None
+
+
+def isometric_defect(cube: CubeLike) -> Optional[Tuple[str, str, int, int]]:
+    """The first isometry violation, or ``None`` when isometric.
+
+    Returns ``(word_b, word_c, subgraph_distance, hamming_distance)``
+    where ``subgraph_distance`` is ``-1`` for disconnected pairs.
+    """
+    cube = _as_cube(cube)
+    n = cube.num_vertices
+    if n <= 1:
+        return None
+    g = cube.graph()
+    engine = bfs_distances_csr if n >= 256 else bfs_distances
+    for i in range(n):
+        inner = engine(g, i)
+        outer = hamming_row(cube, i)
+        bad = inner != outer
+        if bad.any():
+            j = int(np.flatnonzero(bad)[0])
+            return (cube.word_of(i), cube.word_of(j), int(inner[j]), int(outer[j]))
+    return None

@@ -1,0 +1,203 @@
+"""p-critical words (Lemma 2.4): search and constructive certificates.
+
+Vertices ``b, c`` of :math:`Q_d(f)` are *p-critical* when their Hamming
+distance is ``p >= 2`` but none of the neighbours of ``b`` inside the
+interval :math:`I_{Q_d}(b, c)` belongs to :math:`Q_d(f)`, **or** none of
+the neighbours of ``c`` does.  Lemma 2.4: the existence of p-critical
+words forces :math:`Q_d(f) \\not\\hookrightarrow Q_d`.
+
+Two sources of certificates:
+
+- :func:`find_critical_pair` searches the cube exhaustively (smallest
+  ``p`` first) -- this is the mechanical route;
+- :func:`paper_critical_pair` builds the explicit pairs written down in
+  the proofs of Proposition 3.2, Theorem 3.3, Proposition 4.1 and
+  Proposition 4.2, and *verifies* them (the constructor raises if the
+  construction were wrong, so a passing test-suite certifies the paper's
+  formulas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cubes.generalized import GeneralizedFibonacciCube, generalized_fibonacci_cube
+from repro.words.core import blocks, concat_blocks, contains_factor, flip, hamming
+
+__all__ = [
+    "CriticalPair",
+    "verify_critical_pair",
+    "find_critical_pair",
+    "paper_critical_pair",
+]
+
+
+@dataclass(frozen=True)
+class CriticalPair:
+    """A verified pair of p-critical words for :math:`Q_d(f)`.
+
+    ``source`` records provenance: ``"search"`` or the paper statement the
+    construction comes from (e.g. ``"Proposition 3.2"``).
+    """
+
+    f: str
+    d: int
+    b: str
+    c: str
+    p: int
+    source: str
+
+    def __post_init__(self):
+        problem = _critical_violation(self.f, self.b, self.c)
+        if problem is not None:
+            raise ValueError(
+                f"invalid critical pair for f={self.f!r}: {problem} (b={self.b}, c={self.c})"
+            )
+
+
+def _critical_violation(f: str, b: str, c: str) -> Optional[str]:
+    """Why (b, c) fails to be a critical pair, or ``None`` when it is one."""
+    if len(b) != len(c):
+        return "words of different lengths"
+    if contains_factor(b, f):
+        return "b contains the forbidden factor"
+    if contains_factor(c, f):
+        return "c contains the forbidden factor"
+    p = hamming(b, c)
+    if p < 2:
+        return f"Hamming distance {p} < 2"
+    diff = [i for i in range(len(b)) if b[i] != c[i]]
+    b_side = all(contains_factor(flip(b, i), f) for i in diff)
+    c_side = all(contains_factor(flip(c, i), f) for i in diff)
+    if not (b_side or c_side):
+        return "both b and c have an interval neighbour inside the cube"
+    return None
+
+
+def verify_critical_pair(f: str, b: str, c: str) -> bool:
+    """Check the Lemma 2.4 condition for an explicit pair of words."""
+    return _critical_violation(f, b, c) is None
+
+
+def find_critical_pair(
+    cube, p_max: Optional[int] = None
+) -> Optional[CriticalPair]:
+    """Exhaustive search for a p-critical pair, smallest ``p`` first.
+
+    ``cube`` is a :class:`GeneralizedFibonacciCube` or an ``(f, d)``
+    tuple.  Returns ``None`` when no critical pair with ``p <= p_max``
+    exists (``p_max`` defaults to ``d``).
+    """
+    if not isinstance(cube, GeneralizedFibonacciCube):
+        f, d = cube
+        cube = generalized_fibonacci_cube(f, d)
+    f, d = cube.f, cube.d
+    if p_max is None:
+        p_max = d
+    words = cube.words()
+    present = set(words)
+    n = len(words)
+    for p in range(2, p_max + 1):
+        for i in range(n):
+            b = words[i]
+            for j in range(i + 1, n):
+                c = words[j]
+                if hamming(b, c) != p:
+                    continue
+                diff = [k for k in range(d) if b[k] != c[k]]
+                if all(flip(b, k) not in present for k in diff) or all(
+                    flip(c, k) not in present for k in diff
+                ):
+                    return CriticalPair(f, d, b, c, p, source="search")
+    return None
+
+
+def paper_critical_pair(f: str, d: int) -> Optional[CriticalPair]:
+    """The explicit critical pair from the paper's proofs, when one applies.
+
+    Covered constructions (each verified on creation):
+
+    - Proposition 3.2 for ``f = 1^r 0^s 1^t`` and ``d >= r + s + t + 1``;
+    - Theorem 3.3 Case 1 (``f = 1^2 0^s``, ``s >= 2``): the 2-critical pair
+      for ``s >= 4, d > s + 4`` and the 3-critical pair for ``s = 2,
+      d >= 7``;
+    - Theorem 3.3 Case 2 (``f = 1^r 0^s``, ``r > 2 or s > 2``,
+      ``d >= 2r + 2s - 2``);
+    - Proposition 4.1 for ``f = (10)^s 1`` and ``d >= 4s`` (``s >= 2``);
+    - Proposition 4.2 for ``f = (10)^r 1 (10)^s`` and ``d >= 2r + 2s + 3``.
+
+    Returns ``None`` when no catalogued construction matches ``(f, d)``.
+    Strings are matched directly (not up to symmetry); callers wanting the
+    full orbit should canonicalize first.
+    """
+    parts = blocks(f)
+    runs = [(digit, ln) for digit, ln in parts]
+
+    # Proposition 3.2: f = 1^r 0^s 1^t
+    if len(runs) == 3 and runs[0][0] == "1" and runs[1][0] == "0" and runs[2][0] == "1":
+        r, s, t = runs[0][1], runs[1][1], runs[2][1]
+        if d >= r + s + t + 1:
+            pad = "1" * (d - (r + s + t + 1))
+            b = pad + concat_blocks(("1", r), ("1", 1), ("0", s - 1), ("1", 1), ("1", t))
+            c = pad + concat_blocks(("1", r), ("0", 1), ("0", s - 1), ("0", 1), ("1", t))
+            return CriticalPair(f, d, b, c, 2, source="Proposition 3.2")
+
+    # Theorem 3.3 for two blocks f = 1^r 0^s
+    if len(runs) == 2 and runs[0][0] == "1" and runs[1][0] == "0":
+        r, s = runs[0][1], runs[1][1]
+        if r == 2 and s == 2 and d >= 7:
+            pad = "1" * (d - 7)
+            b = pad + "11" + "1010" + "0"  # 1^2 1 0 1 0 0 of length 7
+            c = pad + "11" + "0100" + "0"  # 1^2 0 1 0 0 0
+            return CriticalPair(f, d, b, c, 3, source="Theorem 3.3 (r=s=2)")
+        if r == 2 and s >= 2 and d > s + 4:
+            k = d - s - 4
+            if 1 <= k <= s - 3:
+                b = concat_blocks(("1", 2), ("0", k), ("1", 1), ("0", 1), ("0", s))
+                c = concat_blocks(("1", 2), ("0", k), ("0", 1), ("1", 1), ("0", s))
+                return CriticalPair(f, d, b, c, 2, source="Theorem 3.3 Case 1")
+        if (r > 2 or s > 2) and r >= 2 and s >= 2 and d >= 2 * r + 2 * s - 2:
+            pad = "1" * (d - (2 * r + 2 * s - 2))
+            b = pad + concat_blocks(
+                ("1", r), ("0", s - 2), ("1", 1), ("0", 1), ("1", r - 2), ("0", s)
+            )
+            c = pad + concat_blocks(
+                ("1", r), ("0", s - 2), ("0", 1), ("1", 1), ("1", r - 2), ("0", s)
+            )
+            return CriticalPair(f, d, b, c, 2, source="Theorem 3.3 Case 2")
+
+    # Proposition 4.1: f = (10)^s 1, s >= 2, d >= 4s
+    if f == "10" * (len(f) // 2) + "1" and len(f) >= 5:
+        s = len(f) // 2
+        if d >= 4 * s:
+            pad = "1" * (d - 4 * s)
+            stem = "10" * (s - 1)
+            b = pad + stem + "100" + stem + "1"
+            c = pad + stem + "111" + stem + "1"
+            return CriticalPair(f, d, b, c, 2, source="Proposition 4.1")
+
+    # Proposition 4.2: f = (10)^r 1 (10)^s
+    hit = _split_10r1_10s(f)
+    if hit is not None:
+        r, s = hit
+        if d >= 2 * r + 2 * s + 3:
+            pad = "1" * (d - (2 * r + 2 * s + 3))
+            b = pad + "10" * r + "100" + "10" * s
+            c = pad + "10" * r + "111" + "10" * s
+            return CriticalPair(f, d, b, c, 2, source="Proposition 4.2")
+
+    return None
+
+
+def _split_10r1_10s(f: str) -> Optional[tuple]:
+    """Decompose ``f`` as ``(10)^r 1 (10)^s`` with ``r, s >= 1``, if possible."""
+    n = len(f)
+    for r in range(1, n // 2 + 1):
+        prefix = "10" * r + "1"
+        if not f.startswith(prefix):
+            continue
+        rest = f[len(prefix):]
+        if rest and len(rest) % 2 == 0 and rest == "10" * (len(rest) // 2):
+            return (r, len(rest) // 2)
+    return None

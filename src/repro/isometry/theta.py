@@ -1,0 +1,216 @@
+"""Djoković--Winkler relation, partial cubes, and isometric dimension.
+
+Edges ``e = xy`` and ``g = uv`` of a connected graph are in relation
+:math:`\\Theta` when :math:`d(x,u) + d(y,v) \\ne d(x,v) + d(y,u)`.
+:math:`\\Theta^*` is the transitive closure.  Winkler's theorem [21]: a
+connected bipartite graph is a *partial cube* (isometrically embeddable
+into some hypercube) iff :math:`\\Theta` is transitive.
+
+For a partial cube the :math:`\\Theta^*`-classes (= :math:`\\Theta`-classes)
+are the coordinate cuts; their number is the isometric dimension
+``idim(G)``, and removing one class splits the graph into the two sides
+of a cut, giving the canonical coordinatization
+(:func:`hypercube_coordinates`).  The paper uses this machinery in
+Section 7 (``dim_f``) and in the Section 8 worked example showing that
+:math:`Q_d(101)`, ``d >= 4``, is a partial cube of *no* dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.core import Graph
+from repro.graphs.traversal import all_pairs_distances, is_connected
+
+__all__ = [
+    "theta_matrix",
+    "theta_classes",
+    "is_bipartite",
+    "is_partial_cube",
+    "idim",
+    "hypercube_coordinates",
+]
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """2-colourability via BFS layering."""
+    n = graph.num_vertices
+    color = [-1] * n
+    for start in range(n):
+        if color[start] != -1:
+            continue
+        color[start] = 0
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                if color[v] == -1:
+                    color[v] = color[u] ^ 1
+                    stack.append(v)
+                elif color[v] == color[u]:
+                    return False
+    return True
+
+
+def theta_matrix(graph: Graph, dist: Optional[np.ndarray] = None) -> np.ndarray:
+    """Boolean ``m x m`` matrix of the :math:`\\Theta` relation on edges.
+
+    Edge order follows :meth:`Graph.edges`.  Vectorised: for each edge we
+    evaluate the defining inequality against all edges at once.
+    """
+    if dist is None:
+        dist = all_pairs_distances(graph)
+    edges = list(graph.edges())
+    m = len(edges)
+    if m == 0:
+        return np.zeros((0, 0), dtype=bool)
+    us = np.array([e[0] for e in edges])
+    vs = np.array([e[1] for e in edges])
+    out = np.zeros((m, m), dtype=bool)
+    for i, (x, y) in enumerate(edges):
+        lhs = dist[x, us] + dist[y, vs]
+        rhs = dist[x, vs] + dist[y, us]
+        out[i] = lhs != rhs
+    return out
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def theta_classes(
+    graph: Graph, dist: Optional[np.ndarray] = None
+) -> List[List[Tuple[int, int]]]:
+    """:math:`\\Theta^*`-classes as lists of edges (transitive closure)."""
+    if dist is None:
+        dist = all_pairs_distances(graph)
+    edges = list(graph.edges())
+    theta = theta_matrix(graph, dist)
+    uf = _UnionFind(len(edges))
+    rows, cols = np.nonzero(theta)
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        if i < j:
+            uf.union(i, j)
+    groups: Dict[int, List[Tuple[int, int]]] = {}
+    for idx, e in enumerate(edges):
+        groups.setdefault(uf.find(idx), []).append(e)
+    return list(groups.values())
+
+
+def is_partial_cube(graph: Graph) -> bool:
+    """Winkler recognition + a belt-and-braces embedding verification.
+
+    Checks connected, bipartite, and :math:`\\Theta = \\Theta^*`; then
+    re-verifies by building the canonical coordinates and comparing word
+    distance with graph distance (so a theory slip cannot silently
+    mislabel a graph).
+    """
+    if graph.num_vertices == 0:
+        return False
+    if not is_connected(graph):
+        return False
+    if not is_bipartite(graph):
+        return False
+    dist = all_pairs_distances(graph)
+    theta = theta_matrix(graph, dist)
+    # transitivity: Theta (with reflexive diagonal) must equal its closure.
+    m = theta.shape[0]
+    reach = theta | np.eye(m, dtype=bool)
+    closure = _transitive_closure(reach)
+    if (closure != reach).any():
+        return False
+    coords = _coordinates_from_theta(graph, dist, theta)
+    return _verify_coordinates(graph, dist, coords)
+
+
+def _transitive_closure(mat: np.ndarray) -> np.ndarray:
+    """Boolean transitive closure by repeated squaring."""
+    closure = mat.copy()
+    while True:
+        nxt = closure | (closure @ closure)
+        if (nxt == closure).all():
+            return closure
+        closure = nxt
+
+
+def idim(graph: Graph) -> Optional[int]:
+    """Isometric dimension: number of :math:`\\Theta`-classes, or ``None``
+    when the graph embeds isometrically in no hypercube.
+
+    ``idim(K_1) == 0`` (the one-vertex graph is :math:`Q_0`).
+    """
+    if graph.num_vertices == 1:
+        return 0
+    if not is_partial_cube(graph):
+        return None
+    return len(theta_classes(graph))
+
+
+def _coordinates_from_theta(
+    graph: Graph, dist: np.ndarray, theta: np.ndarray
+) -> List[str]:
+    edges = list(graph.edges())
+    uf = _UnionFind(len(edges))
+    rows, cols = np.nonzero(theta)
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        if i < j:
+            uf.union(i, j)
+    roots: List[int] = []
+    seen = set()
+    for idx in range(len(edges)):
+        r = uf.find(idx)
+        if r not in seen:
+            seen.add(r)
+            roots.append(idx)
+    n = graph.num_vertices
+    bits: List[List[str]] = [[] for _ in range(n)]
+    for idx in roots:
+        x, y = edges[idx]
+        for w in range(n):
+            bits[w].append("1" if dist[w, x] > dist[w, y] else "0")
+    return ["".join(b) for b in bits]
+
+
+def _verify_coordinates(graph: Graph, dist: np.ndarray, coords: List[str]) -> bool:
+    n = graph.num_vertices
+    for u in range(n):
+        cu = coords[u]
+        for v in range(u + 1, n):
+            h = sum(a != b for a, b in zip(cu, coords[v]))
+            if h != int(dist[u, v]):
+                return False
+    return True
+
+
+def hypercube_coordinates(graph: Graph) -> List[str]:
+    """Canonical isometric embedding of a partial cube into
+    :math:`Q_{idim(G)}`: one binary word per vertex.
+
+    Raises :class:`ValueError` when the graph is not a partial cube.
+    """
+    if graph.num_vertices == 0:
+        raise ValueError("empty graph has no hypercube embedding")
+    if graph.num_vertices == 1:
+        return [""]
+    if not is_connected(graph) or not is_bipartite(graph):
+        raise ValueError("graph is not a partial cube")
+    dist = all_pairs_distances(graph)
+    theta = theta_matrix(graph, dist)
+    coords = _coordinates_from_theta(graph, dist, theta)
+    if not _verify_coordinates(graph, dist, coords):
+        raise ValueError("graph is not a partial cube (Theta not transitive)")
+    return coords

@@ -1,0 +1,132 @@
+"""Vectorised isometry check: dynamic program over Hamming levels.
+
+For vertices ``b, c`` of :math:`Q_d(f)` define ``ok(b, c)`` = "the
+subgraph distance equals the Hamming distance".  A geodesic realizing the
+Hamming distance can waste no flips, so its first hop must flip a bit on
+which ``b`` and ``c`` differ and stay inside the cube; hence
+
+    ok(b, c)  <=>  exists differing bit k with  b + e_k in V(Q_d(f))
+                   and  ok(b + e_k, c),
+
+a recursion on the Hamming distance ``p = H(b, c)`` with base ``p <= 1``.
+The DP fills a boolean ``n x n`` matrix level by level with one fused
+NumPy pass per (level, bit) pair -- no Python loop over vertex pairs.
+This is the HPC-notes "replace the inner loop by array ops" pattern; the
+benchmark ``bench_perf.py`` measures its advantage over the per-vertex
+BFS reference.
+
+A bonus of the level order: the *first* failing level ``p`` yields pairs
+that are exactly **p-critical words** in the sense of Lemma 2.4 -- at the
+minimal level every in-cube neighbour one step closer would have a true
+``ok``, so failure means *no* neighbour of ``b`` in the interval lies in
+the cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cubes.generalized import GeneralizedFibonacciCube, generalized_fibonacci_cube
+from repro.isometry.bruteforce import popcount64
+
+__all__ = ["is_isometric_dp", "isometry_report", "IsometryReport"]
+
+CubeLike = Union[GeneralizedFibonacciCube, Tuple[str, int]]
+
+
+def _as_cube(cube: CubeLike):
+    """Accept an ``(f, d)`` pair or any cube-shaped object (duck typed)."""
+    if isinstance(cube, tuple):
+        f, d = cube
+        return generalized_fibonacci_cube(f, d)
+    if all(hasattr(cube, attr) for attr in ("codes", "d", "graph", "word_of")):
+        return cube
+    raise TypeError(f"not a cube-like object: {cube!r}")
+
+
+@dataclass(frozen=True)
+class IsometryReport:
+    """Outcome of the DP isometry check.
+
+    Attributes
+    ----------
+    isometric:
+        Whether :math:`Q_d(f) \\hookrightarrow Q_d`.
+    first_bad_level:
+        Minimal Hamming distance ``p`` of a failing pair (``None`` when
+        isometric).  Failing pairs at this level are p-critical words.
+    witness:
+        A failing pair of words at the first bad level (``None`` when
+        isometric).
+    num_bad_pairs:
+        Total number of ordered failing pairs across all levels.
+    """
+
+    isometric: bool
+    first_bad_level: Optional[int]
+    witness: Optional[Tuple[str, str]]
+    num_bad_pairs: int
+
+
+def isometry_report(cube: CubeLike, max_vertices: int = 9000) -> IsometryReport:
+    """Run the Hamming-level DP and report the outcome.
+
+    ``max_vertices`` guards the :math:`O(n^2)` memory footprint; the BFS
+    engine in :mod:`repro.isometry.bruteforce` has no such limit.
+    """
+    cube = _as_cube(cube)
+    n = cube.num_vertices
+    if n > max_vertices:
+        raise MemoryError(
+            f"DP engine needs an {n}x{n} matrix; raise max_vertices to allow it"
+        )
+    if n <= 1:
+        return IsometryReport(True, None, None, 0)
+    codes = cube.codes
+    d = cube.d
+    # Hamming matrix (n x n, int8 suffices for d <= 127)
+    xor = codes[:, None] ^ codes[None, :]
+    ham = popcount64(xor).astype(np.int8)
+    max_h = int(ham.max())
+    # neighbour index per (vertex, bit): -1 when the flipped word leaves V
+    nbr = np.full((n, d), -1, dtype=np.int64)
+    for k in range(d):
+        partners = codes ^ (np.int64(1) << np.int64(k))
+        pos = np.minimum(np.searchsorted(codes, partners), n - 1)
+        hit = codes[pos] == partners
+        nbr[hit, k] = pos[hit]
+    bits = ((codes[:, None] >> np.arange(d)[None, :]) & 1).astype(bool)  # (n, d)
+
+    ok = ham <= 1
+    first_bad: Optional[int] = None
+    witness: Optional[Tuple[str, str]] = None
+    num_bad = 0
+    for p in range(2, max_h + 1):
+        level = ham == p
+        if not level.any():
+            continue
+        acc = np.zeros((n, n), dtype=bool)
+        for k in range(d):
+            rows = np.flatnonzero(nbr[:, k] >= 0)
+            if rows.size == 0:
+                continue
+            # differing bit k between row vertex and every column vertex
+            diff = bits[rows, k][:, None] != bits[None, :, k]
+            acc[rows] |= diff & ok[nbr[rows, k], :]
+        ok = np.where(level, acc, ok)
+        bad = level & ~acc
+        bad_count = int(bad.sum())
+        if bad_count and first_bad is None:
+            first_bad = p
+            i, j = np.argwhere(bad)[0]
+            witness = (cube.word_of(int(i)), cube.word_of(int(j)))
+        num_bad += bad_count
+    return IsometryReport(num_bad == 0, first_bad, witness, num_bad)
+
+
+def is_isometric_dp(cube: CubeLike, max_vertices: int = 9000) -> bool:
+    """``True`` iff :math:`Q_d(f) \\hookrightarrow Q_d` (vectorised engine)."""
+    return isometry_report(cube, max_vertices=max_vertices).isometric

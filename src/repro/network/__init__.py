@@ -1,0 +1,78 @@
+"""Interconnection-network substrate (the ICPP/Hsu 1993 lineage).
+
+Fibonacci cubes were introduced as interconnection topologies; the
+``Q_d(1^s)`` family ("generalized Fibonacci cubes" in the 1993 usage) was
+studied for shortest-path routing, broadcasting and Hamiltonicity.  This
+package provides the substrate to exercise those properties on *any*
+generalized Fibonacci cube:
+
+- :mod:`repro.network.topology` -- topology wrapper with cost metrics
+  (order, degree, diameter, average distance, links);
+- :mod:`repro.network.routing` -- routers: exact BFS, the canonical
+  bit-fix route (optimal on :math:`Q_d(1^s)` by Proposition 3.1), and a
+  greedy distributed rule with local fallback;
+- :mod:`repro.network.broadcast` -- single-port broadcast scheduling
+  (binomial on the hypercube, BFS-tree based generally);
+- :mod:`repro.network.simulator` -- synchronous message-passing simulator
+  with FIFO link queues (the "hardware" substitute: per DESIGN.md, graph
+  metrics need no silicon, but the simulator lets us measure latency
+  under contention);
+- :mod:`repro.network.faults` -- fault injection and rerouting studies;
+- :mod:`repro.network.hamilton` -- Hamiltonian path/cycle search
+  ("generalized Fibonacci cubes are mostly Hamiltonian", Liu--Hsu--Chung).
+"""
+
+from repro.network.topology import Topology, topology_of
+from repro.network.routing import (
+    BfsRouter,
+    CanonicalRouter,
+    DimensionOrderRouter,
+    GreedyRouter,
+    RouteStats,
+    route_stats,
+)
+from repro.network.broadcast import (
+    binomial_broadcast_schedule,
+    broadcast_rounds,
+    verify_schedule,
+)
+from repro.network.simulator import NetworkSimulator, SimResult, uniform_traffic
+from repro.network.faults import FaultReport, fault_tolerance_trial
+from repro.network.hamilton import find_hamiltonian_cycle, find_hamiltonian_path
+from repro.network.deadlock import (
+    channel_dependency_graph,
+    find_dependency_cycle,
+    is_deadlock_free,
+)
+from repro.network.cycles import (
+    cycle_spectrum,
+    find_cycle_of_length,
+    has_even_cycles_everywhere,
+)
+
+__all__ = [
+    "Topology",
+    "topology_of",
+    "BfsRouter",
+    "CanonicalRouter",
+    "DimensionOrderRouter",
+    "GreedyRouter",
+    "RouteStats",
+    "route_stats",
+    "binomial_broadcast_schedule",
+    "broadcast_rounds",
+    "verify_schedule",
+    "NetworkSimulator",
+    "SimResult",
+    "uniform_traffic",
+    "FaultReport",
+    "fault_tolerance_trial",
+    "find_hamiltonian_cycle",
+    "channel_dependency_graph",
+    "find_dependency_cycle",
+    "is_deadlock_free",
+    "cycle_spectrum",
+    "find_cycle_of_length",
+    "has_even_cycles_everywhere",
+    "find_hamiltonian_path",
+]

@@ -1,0 +1,107 @@
+"""Single-port broadcasting.
+
+In the single-port model a node can forward the message to one neighbour
+per round, so broadcasting to ``n`` nodes needs at least
+:math:`\\lceil \\log_2 n \\rceil` rounds.  On the hypercube the classical
+binomial-tree schedule meets the bound; on a general topology we compute
+a near-optimal schedule greedily over the BFS tree (informed senders pick
+the child with the largest remaining subtree first).  The N1 experiment
+compares rounds across topologies against the :math:`\\log_2` bound.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import Dict, List, Tuple
+
+from repro.graphs.traversal import bfs_distances
+from repro.network.topology import Topology
+
+__all__ = ["binomial_broadcast_schedule", "broadcast_rounds", "verify_schedule"]
+
+
+def binomial_broadcast_schedule(topo: Topology, root: int) -> List[List[Tuple[int, int]]]:
+    """Greedy single-port broadcast schedule: list of rounds, each a list of
+    ``(sender, receiver)`` link activations.
+
+    Strategy: build the BFS tree from ``root``; each informed node, once
+    per round, forwards to its uninformed tree child whose subtree is
+    largest (the "heaviest subtree first" rule, which on the hypercube
+    recovers the binomial tree and its optimal round count).
+    """
+    g = topo.graph
+    n = g.num_vertices
+    dist = bfs_distances(g, root)
+    if (dist < 0).any():
+        raise ValueError("broadcast root does not reach every node")
+    # BFS tree children (parent = any neighbour one level up, fixed choice)
+    parent = [-1] * n
+    order = sorted(range(n), key=lambda v: int(dist[v]))
+    for v in order:
+        if v == root:
+            continue
+        for u in g.neighbors(v):
+            if dist[u] == dist[v] - 1:
+                parent[v] = u
+                break
+    children: Dict[int, List[int]] = {v: [] for v in range(n)}
+    for v in range(n):
+        if parent[v] >= 0:
+            children[parent[v]].append(v)
+    # subtree sizes
+    size = [1] * n
+    for v in sorted(range(n), key=lambda v: -int(dist[v])):
+        if parent[v] >= 0:
+            size[parent[v]] += size[v]
+    for v in range(n):
+        children[v].sort(key=lambda c: -size[c])
+
+    informed = {root}
+    pending: Dict[int, List[int]] = {root: list(children[root])}
+    schedule: List[List[Tuple[int, int]]] = []
+    while len(informed) < n:
+        sends: List[Tuple[int, int]] = []
+        for u in list(pending):
+            queue = pending[u]
+            while queue and queue[0] in informed:
+                queue.pop(0)
+            if queue:
+                sends.append((u, queue.pop(0)))
+            if not queue:
+                del pending[u]
+        if not sends:
+            raise RuntimeError("broadcast schedule stalled (bug)")
+        for u, v in sends:
+            informed.add(v)
+            pending.setdefault(v, list(children[v]))
+        schedule.append(sends)
+    return schedule
+
+
+def broadcast_rounds(topo: Topology, root: int) -> Tuple[int, int]:
+    """(rounds used, lower bound ``ceil(log2 n)``) for a broadcast from
+    ``root``."""
+    schedule = binomial_broadcast_schedule(topo, root)
+    n = topo.num_nodes
+    bound = ceil(log2(n)) if n > 1 else 0
+    return (len(schedule), bound)
+
+
+def verify_schedule(
+    topo: Topology, root: int, schedule: List[List[Tuple[int, int]]]
+) -> bool:
+    """Validate single-port feasibility and full coverage of a schedule."""
+    g = topo.graph
+    informed = {root}
+    for rnd in schedule:
+        senders = set()
+        newly: List[int] = []
+        for u, v in rnd:
+            if u not in informed or u in senders or v in informed:
+                return False
+            if not g.has_edge(u, v):
+                return False
+            senders.add(u)
+            newly.append(v)
+        informed.update(newly)
+    return len(informed) == g.num_vertices

@@ -1,0 +1,75 @@
+"""Fault tolerance: node failures and rerouting.
+
+The 1993-lineage papers argued Fibonacci-type cubes degrade gracefully
+under faults.  :func:`fault_tolerance_trial` removes a random set of
+nodes and measures: surviving connectivity, diameter inflation, and the
+fraction of surviving node pairs still routable by each router.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.traversal import all_pairs_distances, connected_components
+from repro.network.topology import Topology
+
+__all__ = ["FaultReport", "fault_tolerance_trial"]
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Outcome of one fault-injection trial."""
+
+    topology: str
+    nodes: int
+    failed: int
+    still_connected: bool
+    largest_component_fraction: float
+    diameter_before: int
+    diameter_after: Optional[int]
+    reachable_pair_fraction: float
+
+
+def fault_tolerance_trial(
+    topo: Topology, num_faults: int, seed: int = 0
+) -> FaultReport:
+    """Remove ``num_faults`` random nodes; report structural degradation.
+
+    ``diameter_after`` is measured on the largest surviving component and
+    is ``None`` when fewer than two nodes survive.
+    """
+    n = topo.num_nodes
+    if not 0 <= num_faults < n:
+        raise ValueError(f"need 0 <= faults < nodes, got {num_faults} of {n}")
+    rng = random.Random(seed)
+    dist_before = all_pairs_distances(topo.graph)
+    diameter_before = int(dist_before.max()) if n > 1 else 0
+    failed = set(rng.sample(range(n), num_faults))
+    keep = [v for v in range(n) if v not in failed]
+    sub, _ = topo.graph.induced_subgraph(keep)
+    comps = connected_components(sub)
+    comps.sort(key=len, reverse=True)
+    survivors = sub.num_vertices
+    largest = comps[0] if comps else []
+    still_connected = len(comps) == 1 and survivors > 0
+    reachable_pairs = sum(len(c) * (len(c) - 1) for c in comps)
+    total_pairs = survivors * (survivors - 1)
+    if len(largest) >= 2:
+        big, _ = sub.induced_subgraph(largest)
+        diameter_after: Optional[int] = int(all_pairs_distances(big).max())
+    else:
+        diameter_after = None
+    return FaultReport(
+        topology=topo.name,
+        nodes=n,
+        failed=num_faults,
+        still_connected=still_connected,
+        largest_component_fraction=(len(largest) / survivors) if survivors else 0.0,
+        diameter_before=diameter_before,
+        diameter_after=diameter_after,
+        reachable_pair_fraction=(reachable_pairs / total_pairs) if total_pairs else 1.0,
+    )

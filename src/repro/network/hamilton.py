@@ -1,0 +1,112 @@
+"""Hamiltonian paths and cycles ("mostly Hamiltonian", Liu--Hsu--Chung).
+
+The 1994 companion paper of the ICPP'93 line shows the ``Q_d(1^s)``
+cubes always contain a Hamiltonian path (and usually a cycle through all
+but at most one vertex).  We reproduce this computationally with an exact
+backtracking search; the N1 benchmark sweeps the family.
+
+The search uses two standard exact prunings: a connectivity check of the
+unvisited region, and a cut-vertex degree condition (an unvisited vertex
+other than the target with no unvisited neighbour kills the branch).
+Exponential worst case, fine up to a few hundred vertices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graphs.core import Graph
+
+__all__ = ["find_hamiltonian_path", "find_hamiltonian_cycle"]
+
+
+def _search(
+    g: Graph, start: int, require_cycle: bool, node_budget: int
+) -> Optional[List[int]]:
+    n = g.num_vertices
+    if n == 0:
+        return None
+    if n == 1:
+        return [start] if not require_cycle else None
+    visited = [False] * n
+    path = [start]
+    visited[start] = True
+    budget = [node_budget]
+
+    def feasible() -> bool:
+        """Unvisited region must be connected and adjacent to the path head."""
+        remaining = n - len(path)
+        if remaining == 0:
+            return True
+        head = path[-1]
+        # flood fill the unvisited region from any unvisited neighbour of head
+        seeds = [v for v in g.neighbors(head) if not visited[v]]
+        if not seeds:
+            return False
+        seen = [False] * n
+        stack = [seeds[0]]
+        seen[seeds[0]] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in g.neighbors(u):
+                if not visited[v] and not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == remaining
+
+    def backtrack() -> bool:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise RuntimeError("Hamiltonian search exceeded its node budget")
+        if len(path) == n:
+            return (not require_cycle) or g.has_edge(path[-1], start)
+        if not feasible():
+            return False
+        head = path[-1]
+        # order: fewest unvisited continuations first (Warnsdorff-style)
+        nbrs = [v for v in g.neighbors(head) if not visited[v]]
+        nbrs.sort(key=lambda v: sum(1 for w in g.neighbors(v) if not visited[w]))
+        for v in nbrs:
+            visited[v] = True
+            path.append(v)
+            if backtrack():
+                return True
+            path.pop()
+            visited[v] = False
+        return False
+
+    if backtrack():
+        return list(path)
+    return None
+
+
+def find_hamiltonian_path(
+    g: Graph, node_budget: int = 5_000_000
+) -> Optional[List[int]]:
+    """A Hamiltonian path of ``g``, or ``None`` when none exists.
+
+    Tries each start vertex (lowest degree first -- endpoints of a
+    Hamiltonian path are the hardest vertices to satisfy).
+    """
+    if g.num_vertices == 0:
+        return None
+    if g.num_vertices == 1:
+        return [0]
+    starts = sorted(range(g.num_vertices), key=g.degree)
+    for s in starts:
+        found = _search(g, s, require_cycle=False, node_budget=node_budget)
+        if found is not None:
+            return found
+    return None
+
+
+def find_hamiltonian_cycle(
+    g: Graph, node_budget: int = 5_000_000
+) -> Optional[List[int]]:
+    """A Hamiltonian cycle (as a vertex list whose last joins the first),
+    or ``None`` when none exists."""
+    if g.num_vertices < 3:
+        return None
+    return _search(g, 0, require_cycle=True, node_budget=node_budget)

@@ -1,0 +1,233 @@
+"""Routing algorithms on cube topologies.
+
+Three routers with one interface (``route(topology, src, dst) -> path``
+as a list of node indices):
+
+- :class:`BfsRouter` -- exact shortest path in the topology (the
+  oracle);
+- :class:`CanonicalRouter` -- the paper's canonical path (Section 2):
+  scan left to right flipping 1->0 bits first, then 0->1 bits, skipping
+  hops that would leave the vertex set.  On :math:`Q_d(1^s)` the proof of
+  Proposition 3.1 shows the unmodified canonical path already stays inside
+  -- the distributed, table-free routing of the Hsu--Liu line;
+- :class:`GreedyRouter` -- a purely local rule: from the current node,
+  move to any neighbour strictly closer in Hamming distance to the
+  destination; fail when stuck (used to demonstrate *why* isometry
+  matters for local routing).
+
+:func:`route_stats` sweeps node pairs and reports reachability, stretch
+(path length / graph distance) and hop histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.traversal import bfs_distances
+from repro.network.topology import Topology
+from repro.words.core import flip, hamming
+
+__all__ = [
+    "BfsRouter",
+    "CanonicalRouter",
+    "DimensionOrderRouter",
+    "GreedyRouter",
+    "RouteStats",
+    "route_stats",
+]
+
+
+class BfsRouter:
+    """Exact shortest-path routing (global knowledge)."""
+
+    name = "bfs"
+
+    def route(self, topo: Topology, src: int, dst: int) -> Optional[List[int]]:
+        g = topo.graph
+        dist = bfs_distances(g, dst)
+        if dist[src] < 0:
+            return None
+        path = [src]
+        cur = src
+        while cur != dst:
+            cur = min(g.neighbors(cur), key=lambda v: dist[v])
+            if dist[cur] < 0:
+                return None
+            path.append(cur)
+        return path
+
+
+class CanonicalRouter:
+    """Canonical bit-fix routing with in-set skipping.
+
+    Repeatedly scans positions left to right and performs the first
+    *admissible* canonical move: flip a 1->0 mismatch if the result stays
+    a vertex, else (after all 1->0 options) a 0->1 mismatch.  If a full
+    scan makes no progress the route fails.  On factors ``1^s``
+    (Proposition 3.1) the first canonical move is always admissible, so
+    the router is optimal there; elsewhere it may detour or fail, which
+    is precisely what the N1 experiment quantifies.
+    """
+
+    name = "canonical"
+
+    def route(self, topo: Topology, src: int, dst: int) -> Optional[List[int]]:
+        g = topo.graph
+        if topo.word_length is None:
+            raise ValueError("canonical routing needs word-addressed nodes")
+        cur_word = topo.node_word(src)
+        dst_word = topo.node_word(dst)
+        path = [src]
+        guard = 4 * (topo.word_length + 1)
+        while cur_word != dst_word and guard > 0:
+            guard -= 1
+            nxt = self._canonical_step(g, cur_word, dst_word)
+            if nxt is None:
+                return None
+            cur_word = nxt
+            path.append(g.index_of(cur_word))
+        if cur_word != dst_word:
+            return None
+        return path
+
+    @staticmethod
+    def _canonical_step(g, cur: str, dst: str) -> Optional[str]:
+        for i in range(len(cur)):
+            if cur[i] == "1" and dst[i] == "0":
+                cand = flip(cur, i)
+                if g.has_label(cand):
+                    return cand
+        for i in range(len(cur)):
+            if cur[i] == "0" and dst[i] == "1":
+                cand = flip(cur, i)
+                if g.has_label(cand):
+                    return cand
+        return None
+
+
+class DimensionOrderRouter:
+    """Strict e-cube routing: fix differing bits left to right, no fallback.
+
+    Deadlock-free by construction on *any* topology (channels are used in
+    strictly increasing dimension order, so the channel dependency graph
+    is acyclic), but it only delivers when every prefix-fixed word is a
+    vertex -- guaranteed on the full hypercube and, in the 1->0-first
+    variant below, on the ``1^s`` family (Proposition 3.1's canonical
+    path).  Delivery failures on other cubes are the measured price of
+    strictness, contrast with :class:`CanonicalRouter`'s fallback.
+    """
+
+    name = "ecube"
+
+    def route(self, topo: Topology, src: int, dst: int) -> Optional[List[int]]:
+        g = topo.graph
+        if topo.word_length is None:
+            raise ValueError("dimension-order routing needs word-addressed nodes")
+        cur = topo.node_word(src)
+        dst_word = topo.node_word(dst)
+        path = [src]
+        # phase 1: 1 -> 0 flips left to right, phase 2: 0 -> 1 flips
+        for phase_bits in (("1", "0"), ("0", "1")):
+            for i in range(len(cur)):
+                if cur[i] == phase_bits[0] and dst_word[i] == phase_bits[1]:
+                    cur = flip(cur, i)
+                    if not g.has_label(cur):
+                        return None
+                    path.append(g.index_of(cur))
+        return path
+
+
+class GreedyRouter:
+    """Local Hamming-descent routing; fails when no neighbour improves."""
+
+    name = "greedy"
+
+    def route(self, topo: Topology, src: int, dst: int) -> Optional[List[int]]:
+        g = topo.graph
+        if topo.word_length is None:
+            raise ValueError("greedy routing needs word-addressed nodes")
+        dst_word = topo.node_word(dst)
+        cur = src
+        path = [cur]
+        while cur != dst:
+            cur_word = topo.node_word(cur)
+            h_cur = hamming(cur_word, dst_word)
+            nxt = None
+            for v in g.neighbors(cur):
+                if hamming(topo.node_word(v), dst_word) < h_cur:
+                    nxt = v
+                    break
+            if nxt is None:
+                return None
+            cur = nxt
+            path.append(cur)
+        return path
+
+
+@dataclass(frozen=True)
+class RouteStats:
+    """Aggregate routing quality over a pair sample."""
+
+    router: str
+    pairs: int
+    delivered: int
+    optimal: int
+    total_hops: int
+    total_shortest: int
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.pairs if self.pairs else 1.0
+
+    @property
+    def optimality_rate(self) -> float:
+        return self.optimal / self.delivered if self.delivered else 0.0
+
+    @property
+    def stretch(self) -> float:
+        """Average delivered-path length over shortest-path length."""
+        return self.total_hops / self.total_shortest if self.total_shortest else 1.0
+
+
+def route_stats(
+    topo: Topology,
+    router,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> RouteStats:
+    """Run ``router`` over ``pairs`` (default: all ordered pairs) and verify
+    each returned path is a real path before scoring it."""
+    g = topo.graph
+    n = g.num_vertices
+    if pairs is None:
+        pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    delivered = optimal = total_hops = total_shortest = 0
+    dist_cache: Dict[int, np.ndarray] = {}
+    for s, t in pairs:
+        if s not in dist_cache:
+            dist_cache[s] = bfs_distances(g, s)
+        shortest = int(dist_cache[s][t])
+        path = router.route(topo, s, t)
+        if path is None:
+            continue
+        if path[0] != s or path[-1] != t:
+            raise AssertionError(f"router {router.name} returned a broken path")
+        for a, b in zip(path, path[1:]):
+            if not g.has_edge(a, b):
+                raise AssertionError(f"router {router.name} used a non-edge")
+        hops = len(path) - 1
+        delivered += 1
+        total_hops += hops
+        total_shortest += shortest
+        if hops == shortest:
+            optimal += 1
+    return RouteStats(
+        router=getattr(router, "name", type(router).__name__),
+        pairs=len(pairs),
+        delivered=delivered,
+        optimal=optimal,
+        total_hops=total_hops,
+        total_shortest=total_shortest,
+    )

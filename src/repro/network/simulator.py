@@ -1,0 +1,178 @@
+"""Synchronous message-passing network simulator.
+
+This is the hardware substitute declared in DESIGN.md: a cycle-accurate
+(at link granularity) model of a store-and-forward network.
+
+Model
+-----
+- Time advances in discrete cycles.
+- Each directed link ``(u, v)`` carries at most one packet per cycle and
+  has a FIFO queue at its tail.
+- A packet follows a precomputed route (any router from
+  :mod:`repro.network.routing`); on each cycle every link forwards the
+  head-of-queue packet to the next queue on its route.
+- Packets are injected by a traffic pattern: ``(cycle, src, dst)``
+  triples.
+
+Outputs: per-packet latency, average/percentile latency, throughput
+(delivered packets per cycle), and maximum queue occupancy -- enough to
+compare topologies under identical load, which is what the 1993-lineage
+evaluations did on real machines.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.routing import BfsRouter
+from repro.network.topology import Topology
+
+__all__ = ["NetworkSimulator", "SimResult", "uniform_traffic"]
+
+
+@dataclass
+class _Packet:
+    pid: int
+    route: List[int]
+    hop: int  # index of the node the packet currently sits at
+    injected_at: int
+    delivered_at: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Aggregate outcome of one simulation run."""
+
+    cycles: int
+    injected: int
+    delivered: int
+    latencies: Tuple[int, ...]
+    max_queue: int
+
+    @property
+    def avg_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def max_latency(self) -> int:
+        return max(self.latencies) if self.latencies else 0
+
+    @property
+    def throughput(self) -> float:
+        return self.delivered / self.cycles if self.cycles else 0.0
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.injected if self.injected else 1.0
+
+
+def uniform_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+) -> List[Tuple[int, int, int]]:
+    """Uniform random traffic: ``num_packets`` triples ``(cycle, src, dst)``
+    with distinct ``src != dst`` drawn uniformly, injection cycles uniform
+    over ``[0, inject_window)``.  Deterministic given ``seed``."""
+    rng = random.Random(seed)
+    n = topo.num_nodes
+    if n < 2:
+        raise ValueError("uniform traffic needs at least two nodes")
+    out = []
+    for _ in range(num_packets):
+        s = rng.randrange(n)
+        t = rng.randrange(n - 1)
+        if t >= s:
+            t += 1
+        out.append((rng.randrange(max(1, inject_window)), s, t))
+    out.sort()
+    return out
+
+
+class NetworkSimulator:
+    """Store-and-forward simulator over a :class:`Topology`.
+
+    Parameters
+    ----------
+    topo:
+        The network.
+    router:
+        Any object with ``route(topo, src, dst) -> Optional[List[int]]``;
+        defaults to exact shortest-path routing.
+    """
+
+    def __init__(self, topo: Topology, router=None):
+        self.topo = topo
+        self.router = router if router is not None else BfsRouter()
+
+    def run(
+        self,
+        traffic: Sequence[Tuple[int, int, int]],
+        max_cycles: int = 100000,
+    ) -> SimResult:
+        """Simulate until all deliverable packets arrive (or ``max_cycles``).
+
+        Packets whose router returns ``None`` count as injected but are
+        dropped immediately (visible through ``delivery_rate``).
+        """
+        queues: Dict[Tuple[int, int], deque] = {}
+        packets: List[_Packet] = []
+        pending: List[Tuple[int, _Packet]] = []
+        dropped = 0
+        for cycle, src, dst in traffic:
+            route = self.router.route(self.topo, src, dst)
+            if route is None:
+                dropped += 1
+                continue
+            p = _Packet(pid=len(packets), route=route, hop=0, injected_at=cycle)
+            packets.append(p)
+            pending.append((cycle, p))
+        pending.sort(key=lambda cp: cp[0])
+        pending_idx = 0
+        in_flight = 0
+        max_queue = 0
+        cycle = 0
+        delivered: List[_Packet] = []
+        while (pending_idx < len(pending) or in_flight > 0) and cycle < max_cycles:
+            # inject
+            while pending_idx < len(pending) and pending[pending_idx][0] <= cycle:
+                p = pending[pending_idx][1]
+                pending_idx += 1
+                if len(p.route) == 1:
+                    p.delivered_at = cycle
+                    delivered.append(p)
+                    continue
+                link = (p.route[0], p.route[1])
+                queues.setdefault(link, deque()).append(p)
+                in_flight += 1
+            # forward: one packet per link per cycle
+            arrivals: List[Tuple[_Packet, Tuple[int, int]]] = []
+            for link, q in queues.items():
+                if q:
+                    arrivals.append((q.popleft(), link))
+                    max_queue = max(max_queue, len(q) + 1)
+            for p, link in arrivals:
+                p.hop += 1
+                at = p.route[p.hop]
+                if p.hop == len(p.route) - 1:
+                    p.delivered_at = cycle + 1
+                    delivered.append(p)
+                    in_flight -= 1
+                else:
+                    nxt = (at, p.route[p.hop + 1])
+                    queues.setdefault(nxt, deque()).append(p)
+            cycle += 1
+        latencies = tuple(
+            p.delivered_at - p.injected_at for p in delivered if p.delivered_at is not None
+        )
+        return SimResult(
+            cycles=max(cycle, 1),
+            injected=len(packets) + dropped,
+            delivered=len(delivered),
+            latencies=latencies,
+            max_queue=max_queue,
+        )

@@ -1,0 +1,104 @@
+"""Topology wrapper: a network view of a cube graph.
+
+Adds the metrics interconnection papers compare: node/link counts, degree
+range, diameter, average inter-node distance, and the degree-times-
+diameter cost measure.  The N1 benchmark tabulates these for the
+hypercube, the Fibonacci cube and the ``Q_d(1^s)`` family side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.cubes.generalized import GeneralizedFibonacciCube, generalized_fibonacci_cube
+from repro.graphs.core import Graph
+from repro.graphs.traversal import all_pairs_distances, is_connected
+
+__all__ = ["Topology", "topology_of"]
+
+
+@dataclass
+class Topology:
+    """A network topology: a connected graph plus routing metadata.
+
+    ``word_length`` is set when nodes are binary words of a fixed length
+    (cube-like topologies); routers that rely on bit addresses require
+    it.
+    """
+
+    name: str
+    graph: Graph
+    word_length: Optional[int] = None
+
+    def __post_init__(self):
+        if self.graph.num_vertices == 0:
+            raise ValueError("a topology needs at least one node")
+        if not is_connected(self.graph):
+            raise ValueError(f"topology {self.name!r} is disconnected")
+
+    # -- metrics ---------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_links(self) -> int:
+        return self.graph.num_edges
+
+    def degree_range(self) -> tuple:
+        degs = self.graph.degrees()
+        return (min(degs), max(degs))
+
+    def metrics(self) -> Dict[str, float]:
+        """All headline metrics in one dict (computed fresh each call)."""
+        dist = all_pairs_distances(self.graph)
+        n = self.num_nodes
+        if n > 1:
+            triu = dist[np.triu_indices(n, k=1)]
+            avg = float(triu.mean())
+            dia = int(triu.max())
+        else:
+            avg, dia = 0.0, 0
+        dmin, dmax = self.degree_range()
+        return {
+            "nodes": n,
+            "links": self.num_links,
+            "min_degree": dmin,
+            "max_degree": dmax,
+            "diameter": dia,
+            "avg_distance": avg,
+            "cost_degree_x_diameter": dmax * dia,
+        }
+
+    def node_word(self, index: int) -> str:
+        """The binary-word address of a node (labels must be words)."""
+        label = self.graph.label_of(index)
+        if not isinstance(label, str):
+            raise TypeError(f"node {index} has non-word label {label!r}")
+        return label
+
+
+def topology_of(cube_or_graph, name: Optional[str] = None) -> Topology:
+    """Wrap a :class:`GeneralizedFibonacciCube`, an ``(f, d)`` pair, or a
+    plain labelled :class:`Graph` as a :class:`Topology`."""
+    if isinstance(cube_or_graph, GeneralizedFibonacciCube):
+        cube = cube_or_graph
+        return Topology(
+            name or f"Q_{cube.d}({cube.f})", cube.graph(), word_length=cube.d
+        )
+    if isinstance(cube_or_graph, tuple):
+        f, d = cube_or_graph
+        cube = generalized_fibonacci_cube(f, d)
+        return Topology(name or f"Q_{d}({f})", cube.graph(), word_length=d)
+    if isinstance(cube_or_graph, Graph):
+        length = None
+        if cube_or_graph.labels and isinstance(cube_or_graph.labels[0], str):
+            lengths = {len(w) for w in cube_or_graph.labels}
+            if len(lengths) == 1:
+                length = lengths.pop()
+        return Topology(name or "graph", cube_or_graph, word_length=length)
+    raise TypeError(f"cannot build a topology from {cube_or_graph!r}")

@@ -1,0 +1,84 @@
+"""Reflected Gray codes and Gray-type orderings of cube vertex sets.
+
+The binary reflected Gray code lists all of :math:`Q_d`'s vertices so
+consecutive words differ in one bit -- i.e. it is a Hamiltonian path of
+the hypercube (a cycle, in fact, since the last word differs from the
+first in one bit).  Restricting a Gray order to a generalized Fibonacci
+cube does *not* generally remain a Gray order; whether a family admits
+one is exactly the Hamiltonian-path question the Liu--Hsu--Chung line
+studied.  :func:`gray_rank_order` provides the restriction (useful as a
+processor numbering), and :func:`is_gray_order` tests the property.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.words.core import hamming, int_to_word
+
+__all__ = [
+    "gray_code",
+    "gray_words",
+    "gray_rank",
+    "gray_unrank",
+    "is_gray_order",
+    "gray_rank_order",
+]
+
+
+def gray_code(d: int) -> Iterator[int]:
+    """Codes of the binary reflected Gray sequence of length :math:`2^d`."""
+    if d < 0:
+        raise ValueError(f"dimension must be non-negative, got {d}")
+    for i in range(1 << d):
+        yield i ^ (i >> 1)
+
+
+def gray_words(d: int) -> List[str]:
+    """The reflected Gray sequence as words."""
+    return [int_to_word(c, d) for c in gray_code(d)]
+
+
+def gray_rank(code: int) -> int:
+    """Position of ``code`` in the reflected Gray sequence (inverse map)."""
+    if code < 0:
+        raise ValueError("code must be non-negative")
+    rank = 0
+    while code:
+        rank ^= code
+        code >>= 1
+    return rank
+
+
+def gray_unrank(rank: int) -> int:
+    """The ``rank``-th Gray code (inverse of :func:`gray_rank`)."""
+    if rank < 0:
+        raise ValueError("rank must be non-negative")
+    return rank ^ (rank >> 1)
+
+
+def is_gray_order(words: Sequence[str], cyclic: bool = False) -> bool:
+    """Do consecutive words differ in exactly one bit?
+
+    With ``cyclic=True`` the wrap-around pair must too (a Gray *cycle* =
+    Hamiltonian cycle of the induced cube subgraph).
+    """
+    if len(words) <= 1:
+        return not cyclic or len(words) <= 1
+    for a, b in zip(words, words[1:]):
+        if hamming(a, b) != 1:
+            return False
+    if cyclic and hamming(words[-1], words[0]) != 1:
+        return False
+    return True
+
+
+def gray_rank_order(cube) -> List[str]:
+    """The cube's vertex words sorted by reflected-Gray rank.
+
+    A natural processor numbering; it is a true Gray order exactly when
+    the cube's vertices happen to be Gray-consecutive (rare), so callers
+    interested in single-bit-change orderings should search with
+    :func:`repro.network.hamilton.find_hamiltonian_path` instead.
+    """
+    return sorted(cube.words(), key=lambda w: gray_rank(int(w, 2) if w else 0))

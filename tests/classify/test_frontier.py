@@ -1,0 +1,59 @@
+"""The classification frontier beyond Table 1."""
+
+import pytest
+
+from repro.classify.frontier import classify_frontier, frontier_statistics
+from repro.classify.table1 import table1_expected
+
+
+class TestFrontierReproducesTable1:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5])
+    def test_matches_table1(self, length):
+        expected = {
+            f: t for f, t in table1_expected().items() if len(f) == length
+        }
+        rows = classify_frontier(length, max_d=9)
+        got = {r.f: r.threshold for r in rows}
+        assert got == expected
+
+    def test_computer_cells_match_footnotes(self):
+        rows = classify_frontier(5, max_d=9)
+        by_f = {r.f: r for r in rows}
+        assert by_f["10110"].computer_cells == (6,)
+        assert by_f["10101"].computer_cells == (6, 7)
+        for f, row in by_f.items():
+            if f not in ("10110", "10101"):
+                assert row.decided_by_theorems_alone, f
+
+
+class TestLength6Frontier:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return classify_frontier(6, max_d=8)
+
+    def test_orbit_count(self, rows):
+        # Burnside: (64 + 8 + 8 + 0)/4 = 20
+        assert len(rows) == 20
+
+    def test_statistics_shape(self, rows):
+        stats = frontier_statistics(rows)
+        assert stats["orbits"] == 20
+        assert stats["always_within_probe"] + stats["with_threshold"] == 20
+        assert stats["needed_computer"] >= 1  # theorems don't close length 6
+
+    def test_known_members(self, rows):
+        by_f = {r.f: r for r in rows}
+        # 111111 = 1^6: Prop 3.1, always
+        assert by_f["111111"].always_within_probe
+        assert by_f["111111"].decided_by_theorems_alone
+        # 101010 = (10)^3: Thm 4.4, always
+        assert by_f["101010"].always_within_probe
+        # 110110 = 1^2 0 1^2 0: Thm 4.3, always
+        assert by_f["110110"].always_within_probe
+        # 100001 = 1 0^4 1: Prop 3.2, threshold 6
+        assert by_f["100001"].threshold == 6
+
+    def test_thresholds_are_in_probe_range(self, rows):
+        for r in rows:
+            if r.threshold is not None:
+                assert 1 <= r.threshold < r.max_d

@@ -1,0 +1,109 @@
+"""Rule-level tests: each paper statement matched exactly, never contradicting."""
+
+import pytest
+
+from repro.classify.rules import (
+    ALL_RULES,
+    applicable_rules,
+    rule_lemma_2_1,
+    rule_prop_3_1,
+    rule_prop_3_2,
+    rule_prop_4_1,
+    rule_prop_4_2,
+    rule_prop_5_1,
+    rule_thm_3_3_i,
+    rule_thm_3_3_ii,
+    rule_thm_3_3_iii,
+    rule_thm_4_3,
+    rule_thm_4_4,
+)
+from repro.classify.verdict import Status
+from repro.words.core import all_words
+
+
+class TestIndividualRules:
+    def test_lemma_2_1_fires_below_length(self):
+        v = rule_lemma_2_1("1100", 4, "1100")
+        assert v is not None and v.status is Status.ISOMETRIC
+
+    def test_lemma_2_1_silent_above_length(self):
+        assert rule_lemma_2_1("1100", 5, "1100") is None
+
+    def test_prop_3_1_only_ones(self):
+        assert rule_prop_3_1("111", 9, "111").status is Status.ISOMETRIC
+        assert rule_prop_3_1("110", 9, "110") is None
+
+    def test_thm_3_3_i_matches_1r0(self):
+        assert rule_thm_3_3_i("1110", 9, "1110").status is Status.ISOMETRIC
+        assert rule_thm_3_3_i("1100", 9, "1100") is None
+
+    def test_thm_3_3_ii_threshold(self):
+        assert rule_thm_3_3_ii("1100", 6, "1100").status is Status.ISOMETRIC
+        assert rule_thm_3_3_ii("1100", 7, "1100").status is Status.NOT_ISOMETRIC
+        # s = 3: threshold s + 4 = 7
+        assert rule_thm_3_3_ii("11000", 7, "11000").status is Status.ISOMETRIC
+        assert rule_thm_3_3_ii("11000", 8, "11000").status is Status.NOT_ISOMETRIC
+
+    def test_thm_3_3_ii_needs_r2(self):
+        assert rule_thm_3_3_ii("111000", 9, "111000") is None
+
+    def test_thm_3_3_iii_threshold(self):
+        # r = s = 3: threshold 2r + 2s - 3 = 9
+        assert rule_thm_3_3_iii("111000", 9, "111000").status is Status.ISOMETRIC
+        assert rule_thm_3_3_iii("111000", 10, "111000").status is Status.NOT_ISOMETRIC
+
+    def test_thm_3_3_iii_needs_both_ge_3(self):
+        assert rule_thm_3_3_iii("1100", 5, "1100") is None
+        assert rule_thm_3_3_iii("11000", 6, "11000") is None
+
+    def test_prop_3_2_three_blocks(self):
+        assert rule_prop_3_2("101", 4, "101").status is Status.NOT_ISOMETRIC
+        assert rule_prop_3_2("101", 3, "101") is None  # lemma 2.1 range
+        assert rule_prop_3_2("11011", 6, "11011").status is Status.NOT_ISOMETRIC
+
+    def test_prop_3_2_ignores_other_shapes(self):
+        assert rule_prop_3_2("1100", 9, "1100") is None
+        assert rule_prop_3_2("010", 9, "010") is None  # starts with 0
+
+    def test_thm_4_3(self):
+        assert rule_thm_4_3("110110", 12, "110110").status is Status.ISOMETRIC
+        assert rule_thm_4_3("1010", 12, "1010") is None  # s = 1 excluded
+
+    def test_thm_4_4(self):
+        assert rule_thm_4_4("1010", 12, "1010").status is Status.ISOMETRIC
+        assert rule_thm_4_4("10", 12, "10").status is Status.ISOMETRIC
+        assert rule_thm_4_4("101", 12, "101") is None
+
+    def test_prop_4_1(self):
+        # s = 2: not isometric from d = 8
+        assert rule_prop_4_1("10101", 8, "10101").status is Status.NOT_ISOMETRIC
+        assert rule_prop_4_1("10101", 7, "10101") is None
+        assert rule_prop_4_1("101", 8, "101") is None  # s = 1 left to Prop 3.2
+
+    def test_prop_4_2(self):
+        # r = s = 1: (10)1(10) = 10110, not isometric from d = 7
+        assert rule_prop_4_2("10110", 7, "10110").status is Status.NOT_ISOMETRIC
+        assert rule_prop_4_2("10110", 6, "10110") is None
+
+    def test_prop_5_1(self):
+        assert rule_prop_5_1("11010", 20, "11010").status is Status.ISOMETRIC
+        assert rule_prop_5_1("01011", 20, "01011") is None  # orbit handled upstream
+
+
+class TestConsistency:
+    """The paper's statements must never contradict each other."""
+
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5, 6])
+    def test_no_contradictions_small_factors(self, length):
+        for f in all_words(length):
+            for d in range(1, 14):
+                verdicts = [
+                    v
+                    for v in applicable_rules(f, d)
+                    if v.status is not Status.UNKNOWN
+                ]
+                statuses = {v.status for v in verdicts}
+                assert len(statuses) <= 1, (f, d, verdicts)
+
+    def test_rule_count(self):
+        assert len(ALL_RULES) == 11

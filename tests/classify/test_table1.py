@@ -1,0 +1,72 @@
+"""Table 1: the paper's classification for |f| <= 5, regenerated and diffed."""
+
+import pytest
+
+from repro.classify.table1 import (
+    Table1Row,
+    classification_table,
+    orbit_representatives,
+    table1_expected,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return classification_table(max_length=5, max_d=9)
+
+
+class TestOrbitRepresentatives:
+    def test_counts_per_length(self):
+        # Burnside over {id, complement, reverse, rev-comp}
+        assert len(orbit_representatives(1)) == 1
+        assert len(orbit_representatives(2)) == 2
+        assert len(orbit_representatives(3)) == 3
+        assert len(orbit_representatives(4)) == 6
+        assert len(orbit_representatives(5)) == 10
+
+    def test_paper_choices_present(self):
+        assert set(orbit_representatives(3)) == {"111", "110", "101"}
+        assert "11010" in orbit_representatives(5)
+        assert "10101" in orbit_representatives(5)
+
+
+class TestTable1(object):
+    def test_row_count(self, table):
+        assert len(table) == 22  # 1 + 2 + 3 + 6 + 10
+
+    def test_exact_match_with_paper(self, table):
+        got = {r.f: r.threshold for r in table}
+        assert got == table1_expected()
+
+    def test_always_rows(self, table):
+        always = {r.f for r in table if r.always_isometric}
+        assert always == {
+            "1", "11", "10", "111", "110",
+            "1111", "1110", "1010",
+            "11111", "11110", "11010",
+        }
+
+    def test_computer_checks_used_exactly_where_the_paper_did(self, table):
+        needed = {r.f for r in table if any("brute force" in s for s in r.sources)}
+        assert needed == {"10110", "10101"}
+
+    def test_provenance_nonempty(self, table):
+        for row in table:
+            assert row.sources, row
+            assert "Lemma 2.1" in row.sources
+
+    def test_without_bruteforce_raises(self):
+        with pytest.raises(RuntimeError):
+            classification_table(max_length=5, max_d=9, use_bruteforce=False)
+
+    def test_small_table_without_bruteforce_ok(self):
+        rows = classification_table(max_length=4, max_d=9, use_bruteforce=False)
+        got = {r.f: r.threshold for r in rows}
+        expected = {k: v for k, v in table1_expected().items() if len(k) <= 4}
+        assert got == expected
+
+    def test_row_dataclass(self):
+        row = Table1Row("11", None, ("Proposition 3.1",), 9)
+        assert row.always_isometric
+        row2 = Table1Row("101", 3, ("Proposition 3.2",), 9)
+        assert not row2.always_isometric

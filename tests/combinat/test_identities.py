@@ -1,0 +1,55 @@
+"""Unit tests for Fibonacci identities and Gamma_d counting formulas."""
+
+import pytest
+
+from repro.combinat.identities import (
+    fibonacci_convolution,
+    fibonacci_convolution_closed,
+    gamma_edge_count,
+    gamma_square_count,
+    gamma_vertex_count,
+)
+
+from tests.conftest import naive_avoiding, naive_count_edges, naive_count_squares
+
+
+class TestConvolution:
+    def test_small_values(self):
+        # d = 0: F_1 F_1 = 1;  d = 1: F_1 F_2 + F_2 F_1 = 2
+        assert fibonacci_convolution(0) == 1
+        assert fibonacci_convolution(1) == 2
+
+    @pytest.mark.parametrize("d", range(0, 30, 3))
+    def test_closed_form_matches_sum(self, d):
+        assert fibonacci_convolution(d) == fibonacci_convolution_closed(d)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fibonacci_convolution(-1)
+        with pytest.raises(ValueError):
+            fibonacci_convolution_closed(-1)
+
+
+class TestGammaCounts:
+    @pytest.mark.parametrize("d", range(0, 10))
+    def test_vertex_count_vs_enumeration(self, d):
+        assert gamma_vertex_count(d) == len(naive_avoiding("11", d))
+
+    @pytest.mark.parametrize("d", range(0, 10))
+    def test_edge_count_vs_enumeration(self, d):
+        assert gamma_edge_count(d) == naive_count_edges("11", d)
+
+    @pytest.mark.parametrize("d", range(0, 10))
+    def test_square_count_vs_enumeration(self, d):
+        assert gamma_square_count(d) == naive_count_squares("11", d)
+
+    def test_closed_forms_are_integral_far_out(self):
+        # Fraction arithmetic raises if the /5 and /50 divisions ever fail
+        for d in range(0, 200, 17):
+            gamma_edge_count(d)
+            gamma_square_count(d)
+
+    def test_negative_rejected(self):
+        for fn in (gamma_vertex_count, gamma_edge_count, gamma_square_count):
+            with pytest.raises(ValueError):
+                fn(-1)

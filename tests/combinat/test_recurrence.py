@@ -1,0 +1,62 @@
+"""Unit tests for the linear/affine recurrence engine."""
+
+import pytest
+
+from repro.combinat.recurrence import AffineRecurrence, LinearRecurrence
+from repro.combinat.sequences import fibonacci, tribonacci
+
+
+class TestAffineRecurrence:
+    def test_fibonacci(self):
+        rec = AffineRecurrence([1, 1], [0, 1])
+        assert [rec(n) for n in range(10)] == [fibonacci(n) for n in range(10)]
+
+    def test_constant_term(self):
+        # a(n) = a(n-1) + 1, a(0) = 0  ->  a(n) = n
+        rec = AffineRecurrence([1], [0], constant=1)
+        assert [rec(n) for n in range(6)] == [0, 1, 2, 3, 4, 5]
+
+    def test_v110_recurrence(self):
+        # eq (4): V(d) = V(d-1) + V(d-2) + 1 with V(0)=1, V(1)=2 gives F_{d+3}-1
+        rec = AffineRecurrence([1, 1], [1, 2], constant=1)
+        for d in range(20):
+            assert rec(d) == fibonacci(d + 3) - 1
+
+    def test_prefix(self):
+        rec = AffineRecurrence([1, 1], [0, 1])
+        assert rec.prefix(6) == [0, 1, 1, 2, 3, 5, 8]
+
+    def test_wrong_initial_count(self):
+        with pytest.raises(ValueError):
+            AffineRecurrence([1, 1], [0])
+
+    def test_empty_coeffs(self):
+        with pytest.raises(ValueError):
+            AffineRecurrence([], [])
+
+    def test_negative_index(self):
+        rec = AffineRecurrence([1], [1])
+        with pytest.raises(ValueError):
+            rec(-1)
+
+
+class TestLinearRecurrence:
+    def test_at_matches_iterative(self):
+        rec = LinearRecurrence([1, 1], [0, 1])
+        for n in (0, 1, 5, 40, 97):
+            assert rec.at(n) == fibonacci(n)
+
+    def test_tribonacci_companion(self):
+        rec = LinearRecurrence([1, 1, 1], [0, 0, 1])
+        for n in (0, 2, 10, 37):
+            assert rec.at(n) == tribonacci(n)
+
+    def test_companion_matrix_shape(self):
+        rec = LinearRecurrence([2, 0, 1], [1, 2, 3])
+        mat = rec.companion_matrix()
+        assert mat == [[2, 0, 1], [1, 0, 0], [0, 1, 0]]
+
+    def test_at_negative_rejected(self):
+        rec = LinearRecurrence([1], [1])
+        with pytest.raises(ValueError):
+            rec.at(-3)

@@ -1,0 +1,79 @@
+"""Unit tests for Fibonacci-family sequences."""
+
+import pytest
+
+from repro.combinat.sequences import (
+    fibonacci,
+    fibonacci_pair,
+    kbonacci,
+    lucas_number,
+    tribonacci,
+)
+
+
+class TestFibonacci:
+    def test_convention(self):
+        # paper convention F_1 = F_2 = 1
+        assert [fibonacci(n) for n in range(8)] == [0, 1, 1, 2, 3, 5, 8, 13]
+
+    def test_recurrence_far_out(self):
+        for n in (50, 90, 200):
+            assert fibonacci(n) == fibonacci(n - 1) + fibonacci(n - 2)
+
+    def test_fast_doubling_pair(self):
+        for n in range(30):
+            assert fibonacci_pair(n) == (fibonacci(n), fibonacci(n + 1))
+
+    def test_big_value_exact(self):
+        assert fibonacci(100) == 354224848179261915075
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fibonacci(-1)
+
+
+class TestLucas:
+    def test_initial(self):
+        assert [lucas_number(n) for n in range(8)] == [2, 1, 3, 4, 7, 11, 18, 29]
+
+    def test_recurrence(self):
+        for n in range(2, 25):
+            assert lucas_number(n) == lucas_number(n - 1) + lucas_number(n - 2)
+
+    def test_identity_with_fibonacci(self):
+        for n in range(1, 20):
+            assert lucas_number(n) == fibonacci(n - 1) + fibonacci(n + 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lucas_number(-2)
+
+
+class TestKbonacci:
+    def test_tribonacci_values(self):
+        assert [tribonacci(n) for n in range(9)] == [0, 0, 1, 1, 2, 4, 7, 13, 24]
+
+    def test_k2_is_fibonacci(self):
+        for n in range(20):
+            assert kbonacci(2, n) == fibonacci(n)
+
+    def test_recurrence_order4(self):
+        vals = [kbonacci(4, n) for n in range(20)]
+        for n in range(4, 20):
+            assert vals[n] == sum(vals[n - 4 : n])
+
+    def test_order_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            kbonacci(1, 5)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            kbonacci(3, -1)
+
+    def test_counts_words_avoiding_ones_run(self):
+        # |V(Q_d(1^k))| equals a shifted k-bonacci number; verify against
+        # the naive filter for k = 3
+        from tests.conftest import naive_avoiding
+
+        for d in range(9):
+            assert len(naive_avoiding("111", d)) == kbonacci(3, d + 3)

@@ -1,0 +1,101 @@
+"""Shared fixtures and naive reference implementations.
+
+Every reference here is deliberately the dumbest possible correct
+implementation (filter all 2^d words, O(n^3) medians, ...) so the tests
+cross-validate the real engines against something with no shared code or
+shared cleverness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Set
+
+import pytest
+
+from repro.graphs.core import Graph
+
+
+def naive_all_words(d: int) -> List[str]:
+    return ["".join(bits) for bits in itertools.product("01", repeat=d)]
+
+
+def naive_avoiding(f: str, d: int) -> List[str]:
+    return [w for w in naive_all_words(d) if f not in w]
+
+
+def naive_hamming(a: str, b: str) -> int:
+    return sum(x != y for x, y in zip(a, b))
+
+
+def naive_count_edges(f: str, d: int) -> int:
+    words = set(naive_avoiding(f, d))
+    count = 0
+    for w in words:
+        for i in range(d):
+            flipped = w[:i] + ("1" if w[i] == "0" else "0") + w[i + 1 :]
+            if flipped in words:
+                count += 1
+    return count // 2
+
+
+def naive_count_squares(f: str, d: int) -> int:
+    words: Set[str] = set(naive_avoiding(f, d))
+    count = 0
+    for w in words:
+        zeros = [i for i in range(d) if w[i] == "0"]
+        for a in range(len(zeros)):
+            for b in range(a + 1, len(zeros)):
+                i, j = zeros[a], zeros[b]
+                w_i = w[:i] + "1" + w[i + 1 :]
+                w_j = w[:j] + "1" + w[j + 1 :]
+                w_ij = w_i[:j] + "1" + w_i[j + 1 :]
+                if w_i in words and w_j in words and w_ij in words:
+                    count += 1
+    return count
+
+
+def path_graph(n: int) -> Graph:
+    return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    return Graph.from_edges(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    def idx(r, c):
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((idx(r, c), idx(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((idx(r, c), idx(r + 1, c)))
+    return Graph.from_edges(rows * cols, edges)
+
+
+def star_graph(leaves: int) -> Graph:
+    return Graph.from_edges(leaves + 1, [(0, i + 1) for i in range(leaves)])
+
+
+@pytest.fixture
+def p4() -> Graph:
+    return path_graph(4)
+
+
+@pytest.fixture
+def c6() -> Graph:
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def k4() -> Graph:
+    return complete_graph(4)

@@ -1,0 +1,69 @@
+"""Section 8: Conjecture 8.1 sweep and the Q_d(101) ladder."""
+
+import pytest
+
+from repro.conjectures.conj81 import Conjecture81Case, sweep_conjecture_81
+from repro.conjectures.q101 import (
+    q101_ladder_certificate,
+    q101_not_partial_cube,
+)
+
+
+class TestConjecture81:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return sweep_conjecture_81(max_factor_length=3, max_d=8)
+
+    def test_no_violation_in_range(self, cases):
+        assert all(not c.violates for c in cases)
+
+    def test_nonvacuous_support_exists(self, cases):
+        assert sum(1 for c in cases if c.supports) > 20
+
+    def test_known_instance_11(self, cases):
+        # f = 11 embeddable, ff = 1111 embeddable (both Prop 3.1)
+        hits = [c for c in cases if c.f == "11" and c.d == 8]
+        assert hits and hits[0].supports
+
+    def test_known_instance_10(self, cases):
+        # f = 10 embeddable (Thm 3.3(i)), ff = 1010 embeddable (Thm 4.4)
+        hits = [c for c in cases if c.f == "10" and c.d == 8]
+        assert hits and hits[0].supports
+
+    def test_premise_false_cases_excluded(self, cases):
+        # 101 at d >= 4 is not embeddable, so it must not appear
+        assert not any(c.f == "101" and c.d >= 4 for c in cases)
+
+    def test_case_properties(self):
+        c = Conjecture81Case("11", 5, True, True)
+        assert c.supports and not c.violates
+        c2 = Conjecture81Case("11", 5, True, False)
+        assert c2.violates
+
+
+class TestQ101Ladder:
+    @pytest.mark.parametrize("d", [4, 5, 6, 7])
+    def test_certificate_builds_and_verifies(self, d):
+        cert = q101_ladder_certificate(d)
+        assert cert.d == d
+        assert len(cert.rungs) == 2 * d - 3
+        assert cert.theta_direct is False
+
+    def test_ladder_endpoints(self):
+        cert = q101_ladder_certificate(5)
+        tops = [t for t, _ in cert.rungs]
+        assert tops[0] == "11111"
+        assert tops[-1] == "11001"
+
+    def test_d_below_4_rejected(self):
+        with pytest.raises(ValueError):
+            q101_ladder_certificate(3)
+
+    @pytest.mark.parametrize("d", [4, 5, 6])
+    def test_not_partial_cube(self, d):
+        assert q101_not_partial_cube(d)
+
+    def test_small_d_is_partial_cube(self):
+        # for d <= 3, Q_d(101) is isometric in Q_d (Lemma 2.1), hence a
+        # partial cube
+        assert not q101_not_partial_cube(3)

@@ -1,0 +1,109 @@
+"""Lemmas 2.2 and 2.3: Q_d(f) ~ Q_d(complement f) ~ Q_d(reverse f)."""
+
+import pytest
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.cubes.symmetries import (
+    canonical_factor,
+    complement_isomorphism,
+    factor_orbit,
+    reverse_isomorphism,
+)
+from repro.graphs.isomorphism import are_isomorphic
+from repro.words.core import complement, reverse
+
+
+class TestOrbit:
+    def test_orbit_members(self):
+        assert set(factor_orbit("110")) == {"110", "001", "011", "100"}
+
+    def test_palindrome_orbit_small(self):
+        assert set(factor_orbit("101")) == {"101", "010"}
+
+    def test_self_reverse_complement(self):
+        # 10 reversed is 01 = complement of 10
+        assert set(factor_orbit("10")) == {"10", "01"}
+
+    def test_orbit_size_divides_four(self):
+        for f in ("1", "11", "110", "1010", "11010", "100110"):
+            assert len(factor_orbit(f)) in (1, 2, 4)
+
+    def test_canonical_is_least(self):
+        assert canonical_factor("110") == "001"
+        assert canonical_factor("11010") == "00101"
+
+    def test_canonical_constant_on_orbit(self):
+        for f in ("1101", "10010", "111000"):
+            canon = canonical_factor(f)
+            for g in factor_orbit(f):
+                assert canonical_factor(g) == canon
+
+
+class TestLemma22:
+    """Q_d(f) isomorphic to Q_d(complement(f)) via bitwise complement."""
+
+    @pytest.mark.parametrize("f", ["11", "110", "101", "1100", "11010"])
+    @pytest.mark.parametrize("d", [3, 5, 6])
+    def test_complement_map_is_isomorphism(self, f, d):
+        cube_f = generalized_fibonacci_cube(f, d)
+        cube_fc = generalized_fibonacci_cube(complement(f), d)
+        phi = complement_isomorphism(d)
+        # bijection on vertex sets
+        images = {phi(w) for w in cube_f.words()}
+        assert images == set(cube_fc.words())
+        # edges map to edges
+        g1, g2 = cube_f.graph(), cube_fc.graph()
+        for u, v in g1.edges():
+            iu = g2.index_of(phi(g1.label_of(u)))
+            iv = g2.index_of(phi(g1.label_of(v)))
+            assert g2.has_edge(iu, iv)
+
+    @pytest.mark.parametrize("f", ["110", "1100"])
+    def test_abstract_isomorphism(self, f):
+        d = 5
+        g1 = generalized_fibonacci_cube(f, d).graph()
+        g2 = generalized_fibonacci_cube(complement(f), d).graph()
+        assert are_isomorphic(g1, g2)
+
+    def test_gamma_d_is_q_d_00(self):
+        # Gamma_d ~ Q_d(00), the instance the paper points out
+        d = 6
+        g1 = generalized_fibonacci_cube("11", d).graph()
+        g2 = generalized_fibonacci_cube("00", d).graph()
+        assert are_isomorphic(g1, g2)
+
+    def test_phi_rejects_wrong_length(self):
+        phi = complement_isomorphism(4)
+        with pytest.raises(ValueError):
+            phi("101")
+
+
+class TestLemma23:
+    """Q_d(f) isomorphic to Q_d(reverse(f)) via word reversal."""
+
+    @pytest.mark.parametrize("f", ["110", "1101", "11010", "10110"])
+    @pytest.mark.parametrize("d", [4, 6])
+    def test_reverse_map_is_isomorphism(self, f, d):
+        cube_f = generalized_fibonacci_cube(f, d)
+        cube_fr = generalized_fibonacci_cube(reverse(f), d)
+        phi = reverse_isomorphism(d)
+        assert {phi(w) for w in cube_f.words()} == set(cube_fr.words())
+        g1, g2 = cube_f.graph(), cube_fr.graph()
+        for u, v in g1.edges():
+            iu = g2.index_of(phi(g1.label_of(u)))
+            iv = g2.index_of(phi(g1.label_of(v)))
+            assert g2.has_edge(iu, iv)
+
+    def test_counts_equal_across_whole_orbit(self):
+        d = 7
+        for f in ("1101", "10010"):
+            base = generalized_fibonacci_cube(f, d)
+            for g in factor_orbit(f):
+                other = generalized_fibonacci_cube(g, d)
+                assert other.num_vertices == base.num_vertices
+                assert other.num_edges == base.num_edges
+
+    def test_phi_rejects_wrong_length(self):
+        phi = reverse_isomorphism(4)
+        with pytest.raises(ValueError):
+            phi("10101")

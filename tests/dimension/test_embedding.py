@@ -1,0 +1,91 @@
+"""Exact isometric-embedding search."""
+
+import pytest
+
+from repro.cubes.fibonacci import fibonacci_cube
+from repro.cubes.hypercube import hypercube
+from repro.dimension.embedding import (
+    find_isometric_embedding,
+    is_isometrically_embeddable,
+)
+from repro.graphs.core import Graph
+from repro.graphs.traversal import all_pairs_distances
+
+from tests.conftest import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
+
+
+def assert_isometric(g, h, phi):
+    dg = all_pairs_distances(g)
+    dh = all_pairs_distances(h)
+    for u in range(g.num_vertices):
+        for v in range(g.num_vertices):
+            assert int(dh[phi[u], phi[v]]) == int(dg[u, v])
+
+
+class TestPositive:
+    def test_path_into_cycle(self):
+        g, h = path_graph(3), cycle_graph(6)
+        phi = find_isometric_embedding(g, h)
+        assert phi is not None
+        assert_isometric(g, h, phi)
+
+    def test_path_into_hypercube(self):
+        g, h = path_graph(4), hypercube(3)
+        phi = find_isometric_embedding(g, h)
+        assert phi is not None
+        assert_isometric(g, h, phi)
+
+    def test_c4_into_hypercube(self):
+        g, h = cycle_graph(4), hypercube(2)
+        phi = find_isometric_embedding(g, h)
+        assert phi is not None
+
+    def test_gamma_into_hypercube(self):
+        """Gamma_d isometric in Q_d -- the paper's opening observation."""
+        for d in (2, 3, 4):
+            g = fibonacci_cube(d).graph()
+            phi = find_isometric_embedding(g, hypercube(d))
+            assert phi is not None
+            assert_isometric(g, hypercube(d), phi)
+
+    def test_self_embedding(self):
+        g = grid_graph(2, 3)
+        phi = find_isometric_embedding(g, g)
+        assert phi is not None
+        assert_isometric(g, g, phi)
+
+    def test_empty_graph(self):
+        assert find_isometric_embedding(Graph(0), path_graph(2)) == []
+
+
+class TestNegative:
+    def test_bigger_into_smaller(self):
+        assert not is_isometrically_embeddable(path_graph(5), path_graph(4))
+
+    def test_c6_not_in_q2(self):
+        assert not is_isometrically_embeddable(cycle_graph(6), hypercube(2))
+
+    def test_odd_cycle_not_in_hypercube(self):
+        assert not is_isometrically_embeddable(cycle_graph(5), hypercube(4))
+
+    def test_k3_not_in_bipartite(self):
+        assert not is_isometrically_embeddable(complete_graph(3), hypercube(3))
+
+    def test_p4_not_isometric_in_c4(self):
+        # P4 has diameter 3, C4 has diameter 2
+        assert not is_isometrically_embeddable(path_graph(4), cycle_graph(4))
+
+    def test_star_not_in_small_cycle(self):
+        assert not is_isometrically_embeddable(star_graph(3), cycle_graph(8))
+
+    def test_disconnected_guest(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert find_isometric_embedding(g, hypercube(3)) is None
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        g = grid_graph(3, 3)
+        h = hypercube(5)
+        with pytest.raises(RuntimeError):
+            find_isometric_embedding(g, h, node_budget=3)

@@ -1,0 +1,126 @@
+"""Section 7: f-dimension, Proposition 7.1 bounds, inverse dimension."""
+
+import pytest
+
+from repro.cubes.fibonacci import fibonacci_cube
+from repro.cubes.hypercube import hypercube
+from repro.dimension.fdim import (
+    f_dimension,
+    is_admissible_factor,
+    isometric_dimension,
+    prop71_upper_bound_embedding,
+)
+from repro.dimension.inverse import inverse_dimension
+from repro.graphs.core import Graph
+
+from tests.conftest import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
+
+
+class TestAdmissibility:
+    def test_always_families(self):
+        for f in ("1", "11", "111", "10", "110", "1110", "1010", "101010",
+                  "110110", "11010"):
+            assert is_admissible_factor(f) is True, f
+
+    def test_non_admissible(self):
+        for f in ("101", "1101", "1001", "1100", "10110", "10101"):
+            assert is_admissible_factor(f) is False, f
+
+    def test_silent_cases_return_none(self):
+        # a long factor no theorem covers beyond Lemma 2.1 within the probe
+        assert is_admissible_factor("1101101", probe_up_to=7) is None
+
+
+class TestFDimension:
+    def test_dim_f_of_k1(self):
+        assert f_dimension(Graph(1), "11") == 0
+
+    def test_dim_11_path(self):
+        # P_{n+1} embeds in Gamma_n via 0...0 -> 10...0 chain? idim = n,
+        # and Gamma_d contains an isometric path of length d
+        assert f_dimension(path_graph(4), "11") == 3
+
+    def test_dim_11_c4(self):
+        # C4 needs a 4-cycle avoiding 11: Gamma_2 = P3 has none; Gamma_3?
+        # vertices 000,001,010,100,101: squares? 000-001-101-100: yes!
+        assert f_dimension(cycle_graph(4), "11") == 3
+
+    def test_dim_11_c6(self):
+        assert f_dimension(cycle_graph(6), "11") == 5
+
+    def test_dim_110_vs_idim(self):
+        g = cycle_graph(6)
+        d110 = f_dimension(g, "110")
+        assert isometric_dimension(g) <= d110 <= 3 * isometric_dimension(g) - 2
+
+    def test_star_dimension(self):
+        g = star_graph(3)
+        # idim(K_{1,3}) = 3; with f = 11 the star needs the centre adjacent
+        # to 3 pairwise-distance-2 words avoiding 11
+        d = f_dimension(g, "11")
+        assert 3 <= d <= 7
+
+    def test_bounds_hold_on_corpus(self):
+        for g in (path_graph(5), cycle_graph(4), grid_graph(2, 3), star_graph(4)):
+            d0 = isometric_dimension(g)
+            for f in ("11", "110"):
+                df = f_dimension(g, f)
+                assert d0 <= df <= 3 * d0 - 2, (f, d0, df)
+
+    def test_non_partial_cube_returns_none(self):
+        assert f_dimension(complete_graph(3), "11") is None
+
+    def test_rejects_inadmissible(self):
+        with pytest.raises(ValueError):
+            f_dimension(path_graph(3), "101")
+
+    def test_hypercube_dim_f_is_larger(self):
+        # Q_2 itself: dim_11(Q_2) must exceed idim = 2 (Gamma_2 is a path)
+        g = hypercube(2)
+        assert isometric_dimension(g) == 2
+        assert f_dimension(g, "11") == 3
+
+
+class TestProp71Construction:
+    @pytest.mark.parametrize("f", ["11", "111", "1101011"])  # contain 11
+    def test_spreading_with_zeros(self, f):
+        g = cycle_graph(6)
+        words, dp = prop71_upper_bound_embedding(g, f)
+        assert dp == 2 * isometric_dimension(g) - 1
+        assert all(len(w) == dp for w in words)
+
+    def test_spreading_with_ones(self):
+        g = path_graph(4)
+        words, dp = prop71_upper_bound_embedding(g, "100")
+        assert dp == 2 * isometric_dimension(g) - 1
+
+    def test_alternating_factor_uses_00(self):
+        g = cycle_graph(4)
+        words, dp = prop71_upper_bound_embedding(g, "1010")
+        assert dp == 3 * isometric_dimension(g) - 2
+
+    def test_rejects_trivial_factors(self):
+        for f in ("0", "1", "01", "10"):
+            with pytest.raises(ValueError):
+                prop71_upper_bound_embedding(path_graph(3), f)
+
+    def test_raises_on_non_partial_cube(self):
+        with pytest.raises(ValueError):
+            prop71_upper_bound_embedding(complete_graph(3), "11")
+
+
+class TestInverseDimension:
+    def test_hypercube_hosts_its_gamma(self):
+        # Gamma_d isometric in Q_d: dim^{-1}_11(Q_d) >= d
+        assert inverse_dimension(hypercube(3), "11", d_max=5) == 3
+
+    def test_path_host(self):
+        # P_4 = Q_3(10): the biggest Q_d(10) inside is itself
+        host = fibonacci_cube(3).graph()
+        assert inverse_dimension(host, "10", d_max=6) >= 2
+
+    def test_too_small_host(self):
+        assert inverse_dimension(Graph(1), "11", d_max=4) is None
+
+    def test_respects_d_max(self):
+        assert inverse_dimension(hypercube(4), "11", d_max=2) == 2

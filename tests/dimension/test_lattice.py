@@ -1,0 +1,114 @@
+"""Lattice dimension (Eppstein, the paper's reference [6])."""
+
+import networkx as nx
+import pytest
+
+from repro.cubes.fibonacci import fibonacci_cube
+from repro.cubes.hypercube import hypercube
+from repro.dimension.lattice import (
+    _max_matching,
+    lattice_dimension,
+    semicube_graph,
+    semicubes,
+)
+from repro.graphs.core import Graph
+from repro.isometry.theta import idim
+
+from tests.conftest import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
+
+
+class TestSemicubes:
+    def test_path_semicubes_are_prefixes(self):
+        g = path_graph(4)
+        for a, b in semicubes(g):
+            assert a | b == frozenset(range(4))
+            assert not (a & b)
+
+    def test_count_equals_idim(self):
+        g = grid_graph(2, 3)
+        assert len(semicubes(g)) == idim(g)
+
+    def test_sides_partition(self):
+        g = hypercube(3)
+        n = g.num_vertices
+        for a, b in semicubes(g):
+            assert len(a) + len(b) == n
+
+
+class TestMatching:
+    def test_empty_graph(self):
+        assert _max_matching(4, []) == 0
+
+    def test_triangle(self):
+        assert _max_matching(3, [(0, 1), (1, 2), (0, 2)]) == 1
+
+    def test_path_matching(self):
+        assert _max_matching(4, [(0, 1), (1, 2), (2, 3)]) == 2
+
+    def test_blossom_case(self):
+        # odd cycle + pendant: greedy non-blossom algorithms can fail here
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5)]
+        assert _max_matching(6, edges) == 3
+
+    def test_against_networkx_blossom(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(15):
+            n = rng.randrange(4, 11)
+            edges = [
+                (i, j)
+                for i in range(n)
+                for j in range(i + 1, n)
+                if rng.random() < 0.35
+            ]
+            nxg = nx.Graph()
+            nxg.add_nodes_from(range(n))
+            nxg.add_edges_from(edges)
+            want = len(nx.max_weight_matching(nxg, maxcardinality=True))
+            assert _max_matching(n, edges) == want
+
+
+class TestLatticeDimension:
+    def test_paths_are_one_dimensional(self):
+        for n in (2, 4, 7):
+            assert lattice_dimension(path_graph(n)) == 1
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_even_cycles(self, k):
+        # Eppstein: ldim(C_{2k}) = k
+        assert lattice_dimension(cycle_graph(2 * k)) == k
+
+    def test_trees_half_the_leaves(self):
+        # ldim(tree) = ceil(L/2) where L = number of leaves
+        assert lattice_dimension(star_graph(3)) == 2
+        assert lattice_dimension(star_graph(4)) == 2
+        assert lattice_dimension(star_graph(5)) == 3
+        # spider with 3 legs of length 2: 3 leaves
+        spider = Graph.from_edges(
+            7, [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]
+        )
+        assert lattice_dimension(spider) == 2
+
+    def test_grids_are_planar_lattice(self):
+        assert lattice_dimension(grid_graph(2, 3)) == 2
+        assert lattice_dimension(grid_graph(3, 3)) == 2
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_hypercube_needs_full_dimension(self, d):
+        assert lattice_dimension(hypercube(d)) == d
+
+    def test_fibonacci_cube(self):
+        # measured: Gamma_4 fits Z^2 (idim 4, two matched cut pairs)
+        assert lattice_dimension(fibonacci_cube(4).graph()) == 2
+
+    def test_sandwich_with_idim(self):
+        for g in (path_graph(6), cycle_graph(6), grid_graph(2, 4), star_graph(4)):
+            ld = lattice_dimension(g)
+            assert ld <= idim(g)
+
+    def test_non_partial_cube(self):
+        assert lattice_dimension(complete_graph(3)) is None
+
+    def test_single_vertex(self):
+        assert lattice_dimension(Graph(1)) == 0

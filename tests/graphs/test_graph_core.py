@@ -1,0 +1,156 @@
+"""Unit tests for the Graph type."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.core import Graph
+
+from tests.conftest import cycle_graph, path_graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_edges(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_add_edge_out_of_range(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 2)
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 0)
+
+    def test_add_vertex(self):
+        g = Graph(1)
+        idx = g.add_vertex()
+        assert idx == 1
+        g.add_edge(0, 1)
+        assert g.num_edges == 1
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = path_graph(4)
+        assert g.degrees() == [1, 2, 2, 1]
+        assert g.max_degree() == 2
+        assert g.degree(0) == 1
+
+    def test_edges_each_once_ordered(self):
+        g = cycle_graph(5)
+        es = list(g.edges())
+        assert len(es) == 5
+        assert all(u < v for u, v in es)
+        assert len(set(es)) == 5
+
+    def test_has_edge_symmetric(self):
+        g = path_graph(3)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_neighbors(self):
+        g = cycle_graph(4)
+        assert sorted(g.neighbors(0)) == [1, 3]
+
+
+class TestLabels:
+    def test_set_and_lookup(self):
+        g = path_graph(3)
+        g.set_labels(["a", "b", "c"])
+        assert g.label_of(1) == "b"
+        assert g.index_of("c") == 2
+        assert g.has_label("a") and not g.has_label("z")
+
+    def test_wrong_count_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            g.set_labels(["a", "b"])
+
+    def test_duplicate_labels_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            g.set_labels(["a", "a", "b"])
+
+    def test_no_labels_raises(self):
+        g = path_graph(2)
+        with pytest.raises(KeyError):
+            g.label_of(0)
+        with pytest.raises(KeyError):
+            g.index_of("x")
+
+    def test_add_vertex_after_labels_rejected(self):
+        g = path_graph(2)
+        g.set_labels(["a", "b"])
+        with pytest.raises(RuntimeError):
+            g.add_vertex()
+
+
+class TestCSR:
+    def test_csr_structure(self):
+        g = path_graph(3)
+        indptr, indices = g.csr()
+        assert indptr.tolist() == [0, 1, 3, 4]
+        assert sorted(indices[1:3].tolist()) == [0, 2]
+
+    def test_csr_cache_invalidation(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        indptr1, _ = g.csr()
+        g.add_edge(1, 2)
+        indptr2, _ = g.csr()
+        assert indptr2[-1] == 4
+        assert indptr1[-1] == 2  # old arrays untouched
+
+    def test_csr_total_is_twice_edges(self):
+        g = cycle_graph(7)
+        indptr, indices = g.csr()
+        assert indptr[-1] == 2 * g.num_edges == indices.size
+
+
+class TestDerived:
+    def test_induced_subgraph(self):
+        g = cycle_graph(5)
+        sub, old = g.induced_subgraph([0, 1, 2])
+        assert old == [0, 1, 2]
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2  # path 0-1-2
+
+    def test_induced_subgraph_labels_carry(self):
+        g = path_graph(3)
+        g.set_labels(["x", "y", "z"])
+        sub, _ = g.induced_subgraph([2, 0])
+        assert sub.labels == ["z", "x"]
+
+    def test_induced_subgraph_dedupes(self):
+        g = path_graph(3)
+        sub, old = g.induced_subgraph([1, 1, 2])
+        assert old == [1, 2]
+
+    def test_copy_independent(self):
+        g = path_graph(3)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert not g.has_edge(0, 2)
+        assert h.num_edges == g.num_edges + 1
+
+    def test_repr(self):
+        assert repr(path_graph(3)) == "Graph(n=3, m=2)"

@@ -1,0 +1,100 @@
+"""Unit tests for isomorphism and networkx adapters."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.core import Graph
+from repro.graphs.isomorphism import are_isomorphic, find_isomorphism, refine_colors
+from repro.graphs.nxadapter import from_networkx, to_networkx
+
+from tests.conftest import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestIsomorphism:
+    def test_same_graph(self):
+        g = cycle_graph(5)
+        assert are_isomorphic(g, g)
+
+    def test_relabelled_cycle(self):
+        g = cycle_graph(6)
+        # cycle with different vertex order: 0-2-4-1-3-5-0
+        order = [0, 2, 4, 1, 3, 5]
+        h = Graph.from_edges(6, [(order[i], order[(i + 1) % 6]) for i in range(6)])
+        assert are_isomorphic(g, h)
+
+    def test_path_vs_star_same_size(self):
+        # P4 and K_{1,3} both have 4 vertices, 3 edges -- not isomorphic
+        assert not are_isomorphic(path_graph(4), star_graph(3))
+
+    def test_different_edge_count(self):
+        assert not are_isomorphic(path_graph(4), cycle_graph(4))
+
+    def test_mapping_preserves_edges_exactly(self):
+        g = cycle_graph(7)
+        phi = find_isomorphism(g, g)
+        for u in range(7):
+            for v in range(u + 1, 7):
+                assert g.has_edge(u, v) == g.has_edge(phi[u], phi[v])
+
+    def test_regular_non_isomorphic_pair(self):
+        # K_{3,3} vs the prism (C_6 with chords): both 3-regular on 6 vertices
+        k33 = Graph.from_edges(
+            6, [(i, j) for i in (0, 1, 2) for j in (3, 4, 5)]
+        )
+        prism = Graph.from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)]
+        )
+        assert not are_isomorphic(k33, prism)
+
+    def test_refine_colors_distinguishes_degrees(self):
+        g = star_graph(3)
+        colors = refine_colors(g)
+        assert colors[0] != colors[1]
+        assert colors[1] == colors[2] == colors[3]
+
+    def test_against_networkx_on_random_pairs(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(20):
+            n = rng.randrange(4, 9)
+            edges = [(i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < 0.4]
+            g = Graph.from_edges(n, edges)
+            perm = list(range(n))
+            rng.shuffle(perm)
+            h = Graph.from_edges(n, [(perm[u], perm[v]) for u, v in edges])
+            assert are_isomorphic(g, h)
+            nxg, nxh = to_networkx(g, False), to_networkx(h, False)
+            assert nx.is_isomorphic(nxg, nxh)
+
+
+class TestNxAdapter:
+    def test_round_trip(self):
+        g = cycle_graph(5)
+        g.set_labels(list("abcde"))
+        back = from_networkx(to_networkx(g))
+        assert back.num_vertices == 5 and back.num_edges == 5
+        assert sorted(back.labels) == list("abcde")
+
+    def test_to_networkx_without_labels(self):
+        g = path_graph(3)
+        nxg = to_networkx(g)
+        assert set(nxg.nodes()) == {0, 1, 2}
+
+    def test_from_networkx_with_node_order(self):
+        nxg = nx.path_graph(3)
+        g = from_networkx(nxg, node_order=[2, 1, 0])
+        assert g.labels == [2, 1, 0]
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_from_networkx_bad_order(self):
+        nxg = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            from_networkx(nxg, node_order=[0, 1])
+
+    def test_self_loops_dropped(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.num_edges == 1

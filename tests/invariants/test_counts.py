@@ -1,0 +1,162 @@
+"""Section 6 counting: recurrences (1)-(6), Props 6.2/6.3, cross-identities."""
+
+import pytest
+
+from repro.combinat.identities import (
+    gamma_edge_count,
+    gamma_square_count,
+    gamma_vertex_count,
+)
+from repro.combinat.sequences import fibonacci
+from repro.invariants.counts import (
+    Counts,
+    brute_counts,
+    edges_110_closed,
+    edges_110_convolution,
+    recurrences_110,
+    recurrences_111,
+    squares_110_closed,
+    vertices_110_closed,
+)
+from repro.words.counting import (
+    count_edges_automaton,
+    count_squares_automaton,
+    count_vertices_automaton,
+)
+
+
+MAX_BRUTE_D = 10
+
+
+@pytest.fixture(scope="module")
+def brute111():
+    return [brute_counts("111", d) for d in range(MAX_BRUTE_D + 1)]
+
+
+@pytest.fixture(scope="module")
+def brute110():
+    return [brute_counts("110", d) for d in range(MAX_BRUTE_D + 1)]
+
+
+class TestRecurrences111:
+    """Eqs. (1)-(3) for G_d = Q_d(111)."""
+
+    def test_starting_values(self):
+        rec = recurrences_111(2)
+        assert [c.vertices for c in rec] == [1, 2, 4]
+        assert [c.edges for c in rec] == [0, 1, 4]
+        assert [c.squares for c in rec] == [0, 0, 1]
+
+    def test_matches_bruteforce(self, brute111):
+        rec = recurrences_111(MAX_BRUTE_D)
+        for d in range(MAX_BRUTE_D + 1):
+            assert rec[d] == brute111[d], d
+
+    def test_matches_automaton_far_out(self):
+        rec = recurrences_111(80)
+        for d in (40, 80):
+            assert rec[d].vertices == count_vertices_automaton("111", d)
+            assert rec[d].edges == count_edges_automaton("111", d)
+            assert rec[d].squares == count_squares_automaton("111", d)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            recurrences_111(-1)
+
+
+class TestRecurrences110:
+    """Eqs. (4)-(6) for H_d = Q_d(110)."""
+
+    def test_starting_values(self):
+        rec = recurrences_110(1)
+        assert [c.vertices for c in rec] == [1, 2]
+        assert [c.edges for c in rec] == [0, 1]
+        assert [c.squares for c in rec] == [0, 0]
+
+    def test_matches_bruteforce(self, brute110):
+        rec = recurrences_110(MAX_BRUTE_D)
+        for d in range(MAX_BRUTE_D + 1):
+            assert rec[d] == brute110[d], d
+
+    def test_matches_automaton_far_out(self):
+        rec = recurrences_110(100)
+        for d in (50, 100):
+            assert rec[d].vertices == count_vertices_automaton("110", d)
+            assert rec[d].edges == count_edges_automaton("110", d)
+            assert rec[d].squares == count_squares_automaton("110", d)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            recurrences_110(-1)
+
+
+class TestClosedForms110:
+    def test_vertices_closed(self, brute110):
+        for d in range(MAX_BRUTE_D + 1):
+            assert vertices_110_closed(d) == brute110[d].vertices
+
+    def test_vertices_fibonacci_identity(self):
+        for d in range(60):
+            assert vertices_110_closed(d) == fibonacci(d + 3) - 1
+
+    def test_edges_convolution_prop_6_2(self, brute110):
+        for d in range(MAX_BRUTE_D + 1):
+            assert edges_110_convolution(d) == brute110[d].edges
+
+    def test_edges_closed_corollary(self, brute110):
+        for d in range(MAX_BRUTE_D + 1):
+            assert edges_110_closed(d) == brute110[d].edges
+
+    def test_two_edge_forms_agree_far_out(self):
+        for d in range(0, 120, 11):
+            assert edges_110_convolution(d) == edges_110_closed(d)
+
+    def test_squares_closed_prop_6_3(self, brute110):
+        for d in range(MAX_BRUTE_D + 1):
+            assert squares_110_closed(d) == brute110[d].squares
+
+    def test_squares_closed_vs_recurrence_far_out(self):
+        rec = recurrences_110(150)
+        for d in (77, 150):
+            assert squares_110_closed(d) == rec[d].squares
+
+    def test_negative_rejected(self):
+        for fn in (
+            vertices_110_closed,
+            edges_110_convolution,
+            edges_110_closed,
+            squares_110_closed,
+        ):
+            with pytest.raises(ValueError):
+                fn(-1)
+
+
+class TestFinalRemarkIdentities:
+    """|V(H_d)| = |V(Gamma_{d+1})| - 1, |E| off by one, |S| equal (Section 8)."""
+
+    @pytest.mark.parametrize("d", range(0, 12))
+    def test_vertex_relation(self, d):
+        assert vertices_110_closed(d) == gamma_vertex_count(d + 1) - 1
+
+    @pytest.mark.parametrize("d", range(0, 12))
+    def test_edge_relation(self, d):
+        assert edges_110_closed(d) == gamma_edge_count(d + 1) - 1
+
+    @pytest.mark.parametrize("d", range(0, 12))
+    def test_square_relation(self, d):
+        assert squares_110_closed(d) == gamma_square_count(d + 1)
+
+
+class TestBruteCounts:
+    def test_counts_namedtuple_like(self):
+        c = brute_counts("11", 4)
+        assert isinstance(c, Counts)
+        assert c.vertices == 8 and c.edges == gamma_edge_count(4)
+
+    def test_q2_squares(self):
+        # Q_2 itself is one square; factor too long to bite
+        assert brute_counts("111", 2).squares == 1
+
+    def test_empty_dimension(self):
+        c = brute_counts("11", 0)
+        assert c == Counts(1, 0, 0)

@@ -1,0 +1,97 @@
+"""Cube polynomial: induced Q_k counts extending eqs. (1)-(6)."""
+
+import pytest
+
+from repro.invariants.counts import brute_counts
+from repro.invariants.cubepoly import (
+    cube_coefficients,
+    cube_polynomial_eval,
+    gamma_cube_coefficient,
+)
+
+
+def coeff(co, k):
+    return co[k] if k < len(co) else 0
+
+
+class TestCoefficients:
+    @pytest.mark.parametrize("f", ["11", "110", "101", "1100"])
+    @pytest.mark.parametrize("d", [0, 1, 3, 5, 7])
+    def test_first_three_match_section6_counts(self, f, d):
+        co = cube_coefficients((f, d))
+        bc = brute_counts(f, d)
+        assert coeff(co, 0) == bc.vertices
+        assert coeff(co, 1) == bc.edges
+        assert coeff(co, 2) == bc.squares
+
+    def test_full_hypercube(self):
+        # c_k(Q_d) = C(d, k) 2^{d-k}
+        from math import comb
+
+        d = 4
+        co = cube_coefficients(("11111", d))  # factor longer than d: full Q_4
+        for k in range(d + 1):
+            assert coeff(co, k) == comb(d, k) * 2 ** (d - k), k
+
+    def test_max_k_truncation(self):
+        full = cube_coefficients(("11", 6))
+        trunc = cube_coefficients(("11", 6), max_k=2)
+        assert trunc == full[:3]
+
+    def test_single_vertex(self):
+        assert cube_coefficients(("1", 4)) == [1, 0, 0, 0, 0]
+
+    def test_accepts_cube_object(self):
+        from repro.cubes.multifactor import MultiFactorCube
+
+        mc = MultiFactorCube(["11", "000"], 5)
+        co = cube_coefficients(mc)
+        assert co[0] == mc.num_vertices
+        assert co[1] == mc.num_edges
+
+
+class TestGammaClosedForm:
+    @pytest.mark.parametrize("d", range(0, 10))
+    def test_recurrence_matches_enumeration(self, d):
+        co = cube_coefficients(("11", d))
+        for k in range(d + 2):
+            assert coeff(co, k) == gamma_cube_coefficient(d, k), (d, k)
+
+    def test_k0_is_fibonacci(self):
+        from repro.combinat.sequences import fibonacci
+
+        for d in range(15):
+            assert gamma_cube_coefficient(d, 0) == fibonacci(d + 2)
+
+    def test_k1_is_edge_count(self):
+        from repro.combinat.identities import gamma_edge_count
+
+        for d in range(12):
+            assert gamma_cube_coefficient(d, 1) == gamma_edge_count(d)
+
+    def test_k2_is_square_count(self):
+        from repro.combinat.identities import gamma_square_count
+
+        for d in range(12):
+            assert gamma_cube_coefficient(d, 2) == gamma_square_count(d)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gamma_cube_coefficient(-1, 0)
+        with pytest.raises(ValueError):
+            gamma_cube_coefficient(3, -1)
+
+
+class TestEvaluation:
+    def test_eval_at_zero_is_order(self):
+        co = cube_coefficients(("11", 5))
+        assert cube_polynomial_eval(co, 0) == co[0]
+
+    def test_eval_at_one_counts_all_subcubes(self):
+        co = [3, 2, 1]
+        assert cube_polynomial_eval(co, 1) == 6
+
+    def test_eval_at_minus_one(self):
+        # C(Q_d, -1) = 1 for hypercubes (Euler-characteristic style identity)
+        co = cube_coefficients(("111111", 5))  # full Q_5
+        assert cube_polynomial_eval(co, -1) == 1

@@ -1,0 +1,115 @@
+"""Propositions 6.1 and 6.4."""
+
+import pytest
+
+from repro.classify.engine import classify_with_bruteforce
+from repro.classify.verdict import Status
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.graphs.median import is_median_graph
+from repro.invariants.medianclosed import is_median_closed, median_certificate_triple
+from repro.invariants.structure import structure_report
+from repro.words.core import all_words, contains_factor, hamming
+
+
+class TestProposition61:
+    """Max degree = diameter = d for embeddable f (|f| >= 2, f not 01/10...
+    the statement allows those too via paths; we test the exact claim)."""
+
+    EMBEDDABLE = [
+        ("11", 7), ("111", 7), ("110", 7), ("1110", 7),
+        ("1010", 8), ("11010", 8), ("1100", 6), ("11100", 7),
+        ("110110", 9),
+    ]
+
+    @pytest.mark.parametrize("f,d", EMBEDDABLE)
+    def test_max_degree_and_diameter(self, f, d):
+        rep = structure_report((f, d))
+        assert rep.max_degree == d, (f, d)
+        assert rep.diameter == d, (f, d)
+        assert rep.satisfies_prop_6_1()
+
+    def test_exhaustive_sweep_length_le_4(self):
+        """Every embeddable Q_d(f), |f| in 2..4, 2 <= d <= 7 satisfies 6.1."""
+        for length in (2, 3, 4):
+            for f in all_words(length):
+                if f in ("01", "10"):
+                    continue  # excluded by the proposition (paths)
+                for d in range(max(2, length), 8):
+                    v = classify_with_bruteforce(f, d)
+                    if v.status is not Status.ISOMETRIC:
+                        continue
+                    rep = structure_report((f, d))
+                    assert rep.satisfies_prop_6_1(), (f, d, rep)
+
+    def test_path_case_10(self):
+        # Q_d(10) is the path P_{d+1}: max degree 2, diameter d
+        rep = structure_report(("10", 6))
+        assert rep.num_vertices == 7
+        assert rep.max_degree == 2
+        assert rep.diameter == 6
+
+    def test_zero_vertex_all_neighbors_present(self):
+        # the proof's observation: 0^d is a vertex with full degree when f
+        # has at least two 1s
+        cube = generalized_fibonacci_cube("101", 6)
+        g = cube.graph()
+        assert g.degree(cube.index_of_word("000000")) == 6
+
+    def test_report_fields(self):
+        rep = structure_report(("11", 5))
+        assert rep.connected
+        assert rep.min_degree >= 1
+        assert rep.radius <= rep.diameter
+
+
+class TestProposition64:
+    """Median closed iff |f| = 2 (for d >= |f| >= 2)."""
+
+    @pytest.mark.parametrize("f", ["11", "00", "10", "01"])
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_length_two_median_closed(self, f, d):
+        assert is_median_closed(f, d)
+
+    @pytest.mark.parametrize(
+        "f", ["110", "101", "111", "1100", "1010", "1110", "11010"]
+    )
+    def test_longer_factors_not_median_closed(self, f):
+        for d in range(len(f), len(f) + 3):
+            assert not is_median_closed(f, d), (f, d)
+
+    def test_below_factor_length_is_full_cube(self):
+        # d < |f|: Q_d(f) = Q_d is median closed trivially
+        assert is_median_closed("11010", 4)
+
+    @pytest.mark.parametrize("f", ["110", "101", "1100", "11010", "10010"])
+    def test_certificate_triple(self, f):
+        for d in (len(f), len(f) + 2):
+            x, y, z, m = median_certificate_triple(f, d)
+            cube = generalized_fibonacci_cube(f, d)
+            for w in (x, y, z):
+                assert w in cube
+            assert m not in cube
+            assert contains_factor(m, f)
+            assert hamming(x, y) == hamming(x, z) == hamming(y, z) == 2
+
+    def test_certificate_rejects_short_factor(self):
+        with pytest.raises(ValueError):
+            median_certificate_triple("11", 4)
+
+    def test_certificate_rejects_small_d(self):
+        with pytest.raises(ValueError):
+            median_certificate_triple("110", 2)
+
+    def test_violation_finder_agrees(self):
+        cube = generalized_fibonacci_cube("110", 4)
+        triple = cube.median_violation()
+        assert triple is not None
+        x, y, z = triple
+        assert all(w in cube for w in (x, y, z))
+
+    def test_fibonacci_cube_is_median_graph(self):
+        """The positive side: Gamma_d really is a median graph [12]."""
+        assert is_median_graph(generalized_fibonacci_cube("11", 4).graph())
+
+    def test_paths_are_median_graphs(self):
+        assert is_median_graph(generalized_fibonacci_cube("10", 5).graph())

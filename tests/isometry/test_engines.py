@@ -1,0 +1,122 @@
+"""The two isometry engines: BFS reference vs vectorised DP.
+
+Both must agree everywhere, and both must agree with Table 1.
+"""
+
+import pytest
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.isometry.bruteforce import (
+    is_isometric_bfs,
+    isometric_defect,
+    popcount64,
+    subgraph_distances,
+)
+from repro.isometry.vectorized import is_isometric_dp, isometry_report
+from repro.words.core import all_words, hamming
+
+import numpy as np
+
+
+# cases with known verdicts straight from Table 1
+KNOWN = [
+    ("11", 8, True),
+    ("111", 8, True),
+    ("110", 8, True),
+    ("101", 3, True),
+    ("101", 4, False),
+    ("1100", 6, True),
+    ("1100", 7, False),
+    ("1010", 9, True),
+    ("1101", 4, True),
+    ("1101", 5, False),
+    ("1001", 5, False),
+    ("11010", 9, True),
+    ("10110", 6, True),
+    ("10110", 7, False),
+    ("10101", 7, True),
+    ("10101", 8, False),
+    ("11100", 7, True),
+    ("11100", 8, False),
+]
+
+
+class TestKnownVerdicts:
+    @pytest.mark.parametrize("f,d,expected", KNOWN)
+    def test_bfs_engine(self, f, d, expected):
+        assert is_isometric_bfs((f, d)) == expected
+
+    @pytest.mark.parametrize("f,d,expected", KNOWN)
+    def test_dp_engine(self, f, d, expected):
+        assert is_isometric_dp((f, d)) == expected
+
+
+class TestEnginesAgreeExhaustively:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4])
+    def test_all_factors_small_d(self, length):
+        for f in all_words(length):
+            if "1" not in f and "0" not in f:
+                continue
+            for d in range(1, 8):
+                assert is_isometric_bfs((f, d)) == is_isometric_dp((f, d)), (f, d)
+
+
+class TestDefects:
+    def test_isometric_has_no_defect(self):
+        assert isometric_defect(("11", 7)) is None
+
+    def test_defect_structure(self):
+        b, c, inner, outer = isometric_defect(("101", 4))
+        cube = generalized_fibonacci_cube("101", 4)
+        assert b in cube and c in cube
+        assert hamming(b, c) == outer
+        assert inner > outer or inner == -1
+
+    def test_report_witness_is_critical_level(self):
+        rep = isometry_report(("101", 4))
+        assert not rep.isometric
+        assert rep.first_bad_level == 2
+        b, c = rep.witness
+        assert hamming(b, c) == 2
+        assert rep.num_bad_pairs > 0
+
+    def test_report_isometric(self):
+        rep = isometry_report(("110", 7))
+        assert rep.isometric
+        assert rep.first_bad_level is None
+        assert rep.witness is None
+        assert rep.num_bad_pairs == 0
+
+    def test_dp_memory_guard(self):
+        with pytest.raises(MemoryError):
+            isometry_report(("10101010", 16), max_vertices=10)
+
+    def test_single_vertex_cube_is_isometric(self):
+        # f = "1", all-zero word only
+        assert is_isometric_bfs(("1", 5))
+        assert is_isometric_dp(("1", 5))
+
+
+class TestSubgraphDistances:
+    def test_distances_from_zero_match_hamming_when_isometric(self):
+        cube = generalized_fibonacci_cube("11", 6)
+        i0 = cube.index_of_word("000000")
+        dist = subgraph_distances(cube, i0)
+        for j in range(len(cube)):
+            assert dist[j] == bin(cube.code_of(j)).count("1")
+
+    def test_accepts_tuple(self):
+        dist = subgraph_distances(("11", 4), 0)
+        assert dist[0] == 0
+
+
+class TestPopcount:
+    def test_matches_bin_count(self):
+        vals = np.array([0, 1, 2, 3, 255, 2**40 - 1, 2**62 - 3], dtype=np.int64)
+        got = popcount64(vals)
+        want = [bin(int(v)).count("1") for v in vals]
+        assert got.tolist() == want
+
+    def test_shape_preserved(self):
+        vals = np.arange(16, dtype=np.int64).reshape(4, 4)
+        assert popcount64(vals).shape == (4, 4)

@@ -1,0 +1,166 @@
+"""Djokovic--Winkler relation, partial cubes, isometric dimension."""
+
+import pytest
+
+from repro.cubes.fibonacci import fibonacci_cube
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.cubes.hypercube import hypercube
+from repro.graphs.core import Graph
+from repro.isometry.theta import (
+    hypercube_coordinates,
+    idim,
+    is_bipartite,
+    is_partial_cube,
+    theta_classes,
+    theta_matrix,
+)
+from repro.words.core import hamming
+
+from tests.conftest import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
+
+
+class TestBipartite:
+    def test_even_cycle(self):
+        assert is_bipartite(cycle_graph(6))
+
+    def test_odd_cycle(self):
+        assert not is_bipartite(cycle_graph(5))
+
+    def test_tree(self):
+        assert is_bipartite(star_graph(4))
+
+    def test_disconnected_mixed(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert not is_bipartite(g)
+
+
+class TestTheta:
+    def test_path_every_edge_own_class(self):
+        g = path_graph(5)
+        classes = theta_classes(g)
+        assert len(classes) == 4
+        assert all(len(c) == 1 for c in classes)
+
+    def test_even_cycle_opposite_edges(self):
+        g = cycle_graph(6)
+        classes = theta_classes(g)
+        assert len(classes) == 3
+        assert all(len(c) == 2 for c in classes)
+
+    def test_hypercube_classes_are_directions(self):
+        g = hypercube(3)
+        classes = theta_classes(g)
+        assert len(classes) == 3
+        assert all(len(c) == 4 for c in classes)
+
+    def test_theta_matrix_symmetric(self):
+        g = grid_graph(2, 3)
+        mat = theta_matrix(g)
+        assert (mat == mat.T).all()
+
+    def test_empty_graph(self):
+        assert theta_matrix(Graph(1)).shape == (0, 0)
+
+
+class TestPartialCubes:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: path_graph(5), True),
+            (lambda: cycle_graph(6), True),
+            (lambda: cycle_graph(5), False),  # odd
+            (lambda: complete_graph(3), False),
+            (lambda: star_graph(4), True),  # tree
+            (lambda: grid_graph(3, 3), True),
+            (lambda: hypercube(4), True),
+            (lambda: fibonacci_cube(5).graph(), True),
+            (lambda: complete_graph(4), False),
+        ],
+    )
+    def test_recognition(self, builder, expected):
+        assert is_partial_cube(builder()) == expected
+
+    def test_k23_not_partial_cube(self):
+        # K_{2,3} is bipartite but not a partial cube
+        g = Graph.from_edges(5, [(i, j) for i in (0, 1) for j in (2, 3, 4)])
+        assert is_bipartite(g)
+        assert not is_partial_cube(g)
+
+    def test_disconnected_not_partial_cube(self):
+        assert not is_partial_cube(Graph.from_edges(4, [(0, 1), (2, 3)]))
+
+    def test_q_d_101_never_partial_cube(self):
+        """The Section 8 example, full Winkler check for several d."""
+        for d in range(4, 7):
+            g = generalized_fibonacci_cube("101", d).graph()
+            assert not is_partial_cube(g), d
+
+
+class TestIdim:
+    def test_path(self):
+        assert idim(path_graph(6)) == 5
+
+    def test_tree_edges(self):
+        # every tree: idim = number of edges
+        assert idim(star_graph(5)) == 5
+
+    def test_even_cycle(self):
+        assert idim(cycle_graph(8)) == 4
+
+    def test_hypercube(self):
+        assert idim(hypercube(4)) == 4
+
+    def test_fibonacci_cube(self):
+        # Gamma_d embeds in Q_d and in nothing smaller
+        for d in range(1, 6):
+            assert idim(fibonacci_cube(d).graph()) == d
+
+    def test_grid(self):
+        assert idim(grid_graph(3, 4)) == 2 + 3
+
+    def test_non_partial_cube_is_none(self):
+        assert idim(complete_graph(3)) is None
+
+    def test_single_vertex(self):
+        assert idim(Graph(1)) == 0
+
+
+class TestCoordinates:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: path_graph(5),
+            lambda: cycle_graph(6),
+            lambda: grid_graph(2, 4),
+            lambda: fibonacci_cube(4).graph(),
+        ],
+    )
+    def test_coordinates_isometric(self, builder):
+        from repro.graphs.traversal import all_pairs_distances
+
+        g = builder()
+        coords = hypercube_coordinates(g)
+        dist = all_pairs_distances(g)
+        n = g.num_vertices
+        assert len({len(c) for c in coords}) == 1
+        for u in range(n):
+            for v in range(n):
+                assert hamming(coords[u], coords[v]) == int(dist[u, v])
+
+    def test_word_length_is_idim(self):
+        g = cycle_graph(6)
+        coords = hypercube_coordinates(g)
+        assert len(coords[0]) == idim(g)
+
+    def test_raises_on_non_partial_cube(self):
+        with pytest.raises(ValueError):
+            hypercube_coordinates(complete_graph(3))
+        with pytest.raises(ValueError):
+            hypercube_coordinates(Graph.from_edges(5, [(i, j) for i in (0, 1) for j in (2, 3, 4)]))
+
+    def test_single_vertex(self):
+        assert hypercube_coordinates(Graph(1)) == [""]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hypercube_coordinates(Graph(0))

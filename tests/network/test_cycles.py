@@ -1,0 +1,69 @@
+"""Even-cycle spectrum (reference [22] extension)."""
+
+import pytest
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.cubes.hypercube import hypercube
+from repro.network.cycles import (
+    cycle_spectrum,
+    find_cycle_of_length,
+    has_even_cycles_everywhere,
+)
+
+from tests.conftest import complete_graph, cycle_graph, path_graph
+
+
+class TestFindCycle:
+    def test_cycle_graph_has_only_its_length(self):
+        g = cycle_graph(7)
+        assert find_cycle_of_length(g, 7) is not None
+        assert find_cycle_of_length(g, 5) is None
+        assert find_cycle_of_length(g, 3) is None
+
+    def test_returned_cycle_is_valid(self):
+        g = hypercube(3)
+        cyc = find_cycle_of_length(g, 6)
+        assert cyc is not None and len(cyc) == 6
+        assert len(set(cyc)) == 6
+        for a, b in zip(cyc, cyc[1:]):
+            assert g.has_edge(a, b)
+        assert g.has_edge(cyc[-1], cyc[0])
+
+    def test_tree_has_no_cycles(self):
+        assert find_cycle_of_length(path_graph(6), 4) is None
+
+    def test_too_long_or_short(self):
+        g = cycle_graph(5)
+        assert find_cycle_of_length(g, 2) is None
+        assert find_cycle_of_length(g, 6) is None
+
+    def test_budget(self):
+        with pytest.raises(RuntimeError):
+            find_cycle_of_length(hypercube(4), 16, node_budget=3)
+
+
+class TestSpectrum:
+    def test_k4_spectrum(self):
+        assert cycle_spectrum(complete_graph(4)) == [3, 4]
+
+    def test_hypercube_spectrum_even_only(self):
+        spec = cycle_spectrum(hypercube(3))
+        assert spec == [4, 6, 8]
+
+    def test_bipartite_graphs_have_no_odd_cycles(self):
+        spec = cycle_spectrum(generalized_fibonacci_cube("11", 5).graph())
+        assert all(L % 2 == 0 for L in spec)
+
+
+class TestReference22:
+    """Q_d(1^s) contains cycles of every even length ([22])."""
+
+    @pytest.mark.parametrize("s,d", [(2, 4), (2, 5), (2, 6), (3, 4), (3, 5), (4, 5)])
+    def test_even_cycles_everywhere(self, s, d):
+        g = generalized_fibonacci_cube("1" * s, d).graph()
+        assert has_even_cycles_everywhere(g), (s, d)
+
+    def test_counterpoint_path_fails(self):
+        # Q_d(10) is a path: no cycles at all
+        g = generalized_fibonacci_cube("10", 6).graph()
+        assert not has_even_cycles_everywhere(g)

@@ -1,0 +1,57 @@
+"""Strict dimension-order (e-cube) routing."""
+
+import pytest
+
+from repro.network.deadlock import is_deadlock_free
+from repro.network.routing import DimensionOrderRouter, route_stats
+from repro.network.topology import topology_of
+from repro.cubes.hypercube import hypercube
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("spec", [("11", 5), ("11", 6), ("111", 6), ("1111", 5)])
+    def test_full_delivery_on_1s_family(self, spec):
+        """Proposition 3.1's canonical path makes strict e-cube complete
+        and optimal on Q_d(1^s)."""
+        stats = route_stats(topology_of(spec), DimensionOrderRouter())
+        assert stats.delivery_rate == 1.0
+        assert stats.optimality_rate == 1.0
+
+    def test_full_delivery_on_hypercube(self):
+        stats = route_stats(topology_of(hypercube(4), name="Q4"), DimensionOrderRouter())
+        assert stats.delivery_rate == 1.0
+
+    def test_partial_delivery_elsewhere(self):
+        """On Q_6(1010) (isometric, Thm 4.4) strictness costs delivery."""
+        stats = route_stats(topology_of(("1010", 6)), DimensionOrderRouter())
+        assert 0 < stats.delivery_rate < 1.0
+        # ... but what it delivers, it delivers optimally
+        assert stats.optimality_rate == 1.0
+
+    def test_needs_word_topology(self):
+        from repro.graphs.core import Graph
+        from repro.network.topology import Topology
+
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        g.set_labels([0, 1, 2])
+        with pytest.raises(ValueError):
+            DimensionOrderRouter().route(Topology("p", g), 0, 2)
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize(
+        "spec", [("11", 5), ("111", 5), ("1010", 5), ("1010", 6)]
+    )
+    def test_always_deadlock_free(self, spec):
+        """Strict dimension order is deadlock-free on EVERY topology --
+        including the ones where the fallback router is not."""
+        assert is_deadlock_free(topology_of(spec), DimensionOrderRouter())
+
+    def test_contrast_with_fallback_router(self):
+        """The fallback CanonicalRouter deadlocks on Q_5(1010) where the
+        strict router does not -- the delivery/deadlock trade-off."""
+        from repro.network.routing import CanonicalRouter
+
+        topo = topology_of(("1010", 5))
+        assert not is_deadlock_free(topo, CanonicalRouter())
+        assert is_deadlock_free(topo, DimensionOrderRouter())

@@ -1,0 +1,107 @@
+"""Deeper simulator scenarios: hotspots, drops, ordering, saturation."""
+
+import pytest
+
+from repro.cubes.hypercube import hypercube
+from repro.network.routing import BfsRouter, GreedyRouter
+from repro.network.simulator import NetworkSimulator, uniform_traffic
+from repro.network.topology import topology_of
+
+
+@pytest.fixture(scope="module")
+def q4():
+    return topology_of(hypercube(4), name="Q4")
+
+
+class TestHotspot:
+    def test_hotspot_latency_exceeds_uniform(self, q4):
+        """All-to-one traffic serializes at the sink's links; uniform
+        traffic of the same volume spreads out."""
+        n = q4.num_nodes
+        hot = [(0, s, 0) for s in range(1, n)]
+        uni = uniform_traffic(q4, n - 1, 1, seed=8)
+        sim = NetworkSimulator(q4)
+        res_hot = sim.run(hot)
+        res_uni = sim.run(uni)
+        assert res_hot.avg_latency > res_uni.avg_latency
+
+    def test_hotspot_still_delivers_everything(self, q4):
+        n = q4.num_nodes
+        res = NetworkSimulator(q4).run([(0, s, 0) for s in range(1, n)])
+        assert res.delivered == n - 1
+
+    def test_sink_degree_bounds_drain_rate(self, q4):
+        """The sink has 4 links, so the last of 15 packets needs at least
+        ceil(15/4) + distance-ish cycles."""
+        n = q4.num_nodes
+        res = NetworkSimulator(q4).run([(0, s, 0) for s in range(1, n)])
+        assert res.max_latency >= (n - 1) / 4
+
+
+class TestDrops:
+    def test_undeliverable_packets_count_as_injected(self):
+        """With a router that fails for some pairs, delivery_rate < 1."""
+        topo = topology_of(("101", 4))
+        router = GreedyRouter()
+        # find a failing pair
+        bad = None
+        n = topo.num_nodes
+        for s in range(n):
+            for t in range(n):
+                if s != t and router.route(topo, s, t) is None:
+                    bad = (s, t)
+                    break
+            if bad:
+                break
+        assert bad is not None
+        res = NetworkSimulator(topo, router).run([(0, *bad)])
+        assert res.injected == 1
+        assert res.delivered == 0
+        assert res.delivery_rate == 0.0
+
+
+class TestDeterminismAndAccounting:
+    def test_same_traffic_same_result(self, q4):
+        traffic = uniform_traffic(q4, 80, 40, seed=21)
+        a = NetworkSimulator(q4).run(traffic)
+        b = NetworkSimulator(q4).run(traffic)
+        assert a == b
+
+    def test_latency_count_matches_delivered(self, q4):
+        traffic = uniform_traffic(q4, 60, 30, seed=4)
+        res = NetworkSimulator(q4).run(traffic)
+        assert len(res.latencies) == res.delivered
+
+    def test_zero_hop_packet(self, q4):
+        # a route of length 1 (src == dst is never generated; simulate by
+        # a one-hop route): latency is exactly 1 under no contention
+        res = NetworkSimulator(q4).run([(0, 0, 1)])
+        assert res.latencies == (1,)
+
+    def test_staggered_injection_reduces_queueing(self, q4):
+        n = q4.num_nodes
+        burst = [(0, s, 0) for s in range(1, n)]
+        spread = [(3 * s, s, 0) for s in range(1, n)]
+        res_burst = NetworkSimulator(q4).run(burst)
+        res_spread = NetworkSimulator(q4).run(spread)
+        assert res_spread.max_queue <= res_burst.max_queue
+
+    def test_max_cycles_cap(self, q4):
+        traffic = uniform_traffic(q4, 50, 10, seed=2)
+        res = NetworkSimulator(q4).run(traffic, max_cycles=2)
+        assert res.delivered < 50
+        assert res.cycles <= 2
+
+
+class TestRouterComposition:
+    def test_bfs_latency_lower_bounds_hold_everywhere(self, q4):
+        from repro.graphs.traversal import all_pairs_distances
+
+        dist = all_pairs_distances(q4.graph)
+        traffic = uniform_traffic(q4, 40, 100, seed=11)
+        sim = NetworkSimulator(q4, BfsRouter())
+        res = sim.run(traffic)
+        assert res.delivered == 40
+        # with injections spread over 100 cycles and 40 packets, contention
+        # is light; every latency is at least the graph distance
+        assert all(lat >= 1 for lat in res.latencies)

@@ -1,0 +1,53 @@
+"""CLI tests for the extension subcommands."""
+
+from repro.cli import main
+
+
+class TestMultifactor:
+    def test_basic(self, capsys):
+        assert main(["multifactor", "111,000", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices: 16" in out
+        assert "isometric in Q: False" in out
+
+    def test_single_factor_degenerates(self, capsys):
+        assert main(["multifactor", "11", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices: 13" in out
+        assert "isometric in Q: True" in out
+
+
+class TestCubepoly:
+    def test_gamma6(self, capsys):
+        assert main(["cubepoly", "11", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "c_0 = 21" in out
+        assert "c_1 = 38" in out
+        assert "c_2 = 22" in out
+        assert "c_3 = 4" in out
+
+
+class TestSpectrum:
+    def test_gamma5_even_everywhere(self, capsys):
+        assert main(["spectrum", "11", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "[4, 6, 8, 10, 12]" in out
+        assert "True" in out
+
+    def test_path_has_no_cycles(self, capsys):
+        assert main(["spectrum", "10", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "none (acyclic)" in out
+
+
+class TestWiener:
+    def test_isometric_cube_matches_cuts(self, capsys):
+        assert main(["wiener", "11", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "matches: isometric" in out
+
+    def test_non_isometric_undercounts(self, capsys):
+        assert main(["wiener", "101", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "NOT isometric" in out
+        assert "W(Q_4(101)) = 144" in out

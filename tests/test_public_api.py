@@ -1,0 +1,55 @@
+"""Public API surface and package-level doctests."""
+
+import doctest
+
+import repro
+
+
+class TestSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_doctests(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_subpackage_docs(self):
+        import repro.classify
+        import repro.combinat
+        import repro.conjectures
+        import repro.cubes
+        import repro.dimension
+        import repro.graphs
+        import repro.invariants
+        import repro.isometry
+        import repro.network
+        import repro.words
+
+        for mod in (
+            repro.classify,
+            repro.combinat,
+            repro.conjectures,
+            repro.cubes,
+            repro.dimension,
+            repro.graphs,
+            repro.invariants,
+            repro.isometry,
+            repro.network,
+            repro.words,
+        ):
+            assert mod.__doc__ and len(mod.__doc__) > 80, mod.__name__
+
+    def test_quickstart_flow(self):
+        """The README quickstart, executed."""
+        from repro import classify, generalized_fibonacci_cube, isometry_report
+
+        cube = generalized_fibonacci_cube("1100", 6)
+        assert cube.num_vertices == 52
+        report = isometry_report(cube)
+        assert report.isometric
+        verdict = classify("1100", 6)
+        assert verdict.status is repro.Status.ISOMETRIC

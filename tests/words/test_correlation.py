@@ -1,0 +1,75 @@
+"""Guibas--Odlyzko counting via the autocorrelation polynomial."""
+
+import pytest
+
+from repro.words.correlation import (
+    autocorrelation,
+    correlation_polynomial,
+    count_avoiding_gf,
+)
+from repro.words.counting import count_vertices_automaton
+
+from tests.conftest import naive_avoiding
+
+
+class TestAutocorrelation:
+    def test_always_contains_zero(self):
+        for f in ("1", "10", "1100", "11010"):
+            assert 0 in autocorrelation(f)
+
+    def test_unbordered_word(self):
+        # 1100 has no nontrivial border
+        assert autocorrelation("1100") == [0]
+
+    def test_periodic_word(self):
+        # 1010: shifting by 2 realigns
+        assert autocorrelation("1010") == [0, 2]
+
+    def test_all_ones(self):
+        assert autocorrelation("1111") == [0, 1, 2, 3]
+
+    def test_polynomial_coefficients(self):
+        assert correlation_polynomial("1010") == [1, 0, 1, 0]
+        assert correlation_polynomial("11") == [1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation("")
+        with pytest.raises(ValueError):
+            autocorrelation("12")
+
+
+class TestGfCounting:
+    FACTORS = ["1", "11", "10", "110", "101", "111", "1100", "1010", "11010", "10110"]
+
+    @pytest.mark.parametrize("f", FACTORS)
+    @pytest.mark.parametrize("d", [0, 1, 2, 5, 9])
+    def test_matches_naive(self, f, d):
+        assert count_avoiding_gf(f, d) == len(naive_avoiding(f, d))
+
+    @pytest.mark.parametrize("f", FACTORS)
+    def test_matches_automaton_far_out(self, f):
+        for d in (30, 75):
+            assert count_avoiding_gf(f, d) == count_vertices_automaton(f, d), (f, d)
+
+    def test_fibonacci_numbers(self):
+        from repro.combinat.sequences import fibonacci
+
+        for d in range(20):
+            assert count_avoiding_gf("11", d) == fibonacci(d + 2)
+
+    def test_correlation_matters(self):
+        """Words with the same length but different autocorrelation avoid
+        at different rates -- the classical Guibas-Odlyzko surprise."""
+        # 1010 (periodic) vs 1100 (unbordered), both length 4
+        a = [count_avoiding_gf("1010", d) for d in range(14)]
+        b = [count_avoiding_gf("1100", d) for d in range(14)]
+        assert a != b
+        # the unbordered factor is avoided by FEWER words eventually
+        assert b[13] < a[13]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_avoiding_gf("", 3)
+        with pytest.raises(ValueError):
+            count_avoiding_gf("11", -1)

@@ -1,0 +1,77 @@
+"""Reflected Gray codes."""
+
+import pytest
+
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.words.core import hamming
+from repro.words.gray import (
+    gray_code,
+    gray_rank,
+    gray_rank_order,
+    gray_unrank,
+    gray_words,
+    is_gray_order,
+)
+
+
+class TestGrayCode:
+    def test_d3_sequence(self):
+        assert list(gray_code(3)) == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_is_permutation(self):
+        for d in range(6):
+            assert sorted(gray_code(d)) == list(range(1 << d))
+
+    def test_consecutive_differ_by_one_bit(self):
+        words = gray_words(6)
+        assert is_gray_order(words, cyclic=True)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(gray_code(-1))
+
+    def test_rank_unrank_roundtrip(self):
+        for rank in range(256):
+            assert gray_rank(gray_unrank(rank)) == rank
+
+    def test_rank_is_sequence_position(self):
+        seq = list(gray_code(5))
+        for pos, code in enumerate(seq):
+            assert gray_rank(code) == pos
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            gray_rank(-1)
+        with pytest.raises(ValueError):
+            gray_unrank(-2)
+
+
+class TestGrayOrder:
+    def test_empty_and_singleton(self):
+        assert is_gray_order([])
+        assert is_gray_order(["0101"])
+
+    def test_detects_break(self):
+        assert not is_gray_order(["00", "11"])
+
+    def test_cyclic_check(self):
+        assert is_gray_order(["00", "01", "11", "10"], cyclic=True)
+        assert not is_gray_order(["00", "01", "11"], cyclic=True)
+
+    def test_restriction_to_fibonacci_cube_not_gray(self):
+        """Dropping forbidden words from a Gray sequence breaks the
+        single-bit-change property -- the reason Hamiltonicity of
+        Q_d(1^s) needed real work (Liu-Hsu-Chung)."""
+        cube = generalized_fibonacci_cube("11", 5)
+        order = gray_rank_order(cube)
+        assert sorted(order) == cube.words()
+        assert not is_gray_order(order)
+
+    def test_hamiltonian_path_is_gray_order(self):
+        from repro.network.hamilton import find_hamiltonian_path
+
+        cube = generalized_fibonacci_cube("11", 6)
+        g = cube.graph()
+        path = find_hamiltonian_path(g)
+        words = [g.label_of(v) for v in path]
+        assert is_gray_order(words)

@@ -1,0 +1,113 @@
+"""Multi-factor Aho--Corasick automaton."""
+
+import itertools
+
+import pytest
+
+from repro.words.aho import MultiFactorAutomaton
+
+from tests.conftest import naive_all_words
+
+
+def naive_avoiding_set(factors, d):
+    return [w for w in naive_all_words(d) if not any(f in w for f in factors)]
+
+
+FACTOR_SETS = [
+    ["11"],
+    ["11", "00"],
+    ["101", "010"],
+    ["110", "011"],
+    ["11", "000"],
+    ["1010", "0101", "111"],
+    ["1", "0"],          # forbids everything of length >= 1
+    ["10", "01", "11"],  # only 00...0 survives
+]
+
+
+class TestAvoids:
+    @pytest.mark.parametrize("factors", FACTOR_SETS)
+    @pytest.mark.parametrize("d", [0, 1, 3, 6])
+    def test_matches_naive(self, factors, d):
+        auto = MultiFactorAutomaton(factors)
+        for w in naive_all_words(d):
+            assert auto.avoids(w) == (not any(f in w for f in factors)), (factors, w)
+
+    def test_single_factor_matches_kmp(self):
+        from repro.words.automaton import FactorAutomaton
+
+        for f in ("11", "101", "1100", "11010"):
+            kmp = FactorAutomaton(f)
+            aho = MultiFactorAutomaton([f])
+            for w in naive_all_words(7):
+                assert kmp.avoids(w) == aho.avoids(w), (f, w)
+
+    def test_redundant_superstring_harmless(self):
+        # 110 is redundant next to 11
+        a = MultiFactorAutomaton(["11"])
+        b = MultiFactorAutomaton(["11", "110"])
+        for w in naive_all_words(6):
+            assert a.avoids(w) == b.avoids(w)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiFactorAutomaton([])
+        with pytest.raises(ValueError):
+            MultiFactorAutomaton([""])
+        with pytest.raises(ValueError):
+            MultiFactorAutomaton(["12"])
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("factors", FACTOR_SETS)
+    @pytest.mark.parametrize("d", [0, 2, 5, 7])
+    def test_iter_matches_naive(self, factors, d):
+        auto = MultiFactorAutomaton(factors)
+        assert list(auto.iter_avoiding(d)) == naive_avoiding_set(factors, d)
+
+    @pytest.mark.parametrize("factors", FACTOR_SETS[:5])
+    def test_int_array_matches_iter(self, factors):
+        from repro.words.core import word_to_int
+
+        auto = MultiFactorAutomaton(factors)
+        for d in (0, 4, 8):
+            got = auto.avoiding_int_array(d).tolist()
+            want = [word_to_int(w) for w in auto.iter_avoiding(d)]
+            assert got == want
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            list(MultiFactorAutomaton(["11"]).iter_avoiding(-1))
+
+
+class TestCounting:
+    @pytest.mark.parametrize("factors", FACTOR_SETS)
+    @pytest.mark.parametrize("d", [0, 1, 4, 8])
+    def test_vertex_count(self, factors, d):
+        auto = MultiFactorAutomaton(factors)
+        assert auto.count_vertices(d) == len(naive_avoiding_set(factors, d))
+
+    @pytest.mark.parametrize("factors", [["11", "00"], ["101", "010"], ["11", "000"]])
+    @pytest.mark.parametrize("d", [0, 1, 4, 7])
+    def test_edge_count(self, factors, d):
+        auto = MultiFactorAutomaton(factors)
+        words = set(naive_avoiding_set(factors, d))
+        count = 0
+        for w in words:
+            for i in range(d):
+                flipped = w[:i] + ("1" if w[i] == "0" else "0") + w[i + 1 :]
+                if flipped in words:
+                    count += 1
+        assert auto.count_edges(d) == count // 2
+
+    def test_alternating_words_count(self):
+        # avoiding both 11 and 00 leaves exactly 2 words for every d >= 1
+        auto = MultiFactorAutomaton(["11", "00"])
+        for d in range(1, 30):
+            assert auto.count_vertices(d) == 2
+
+    def test_big_d_cheap(self):
+        auto = MultiFactorAutomaton(["111", "000"])
+        v = auto.count_vertices(300)
+        # satisfies the same recurrence as its transfer matrix implies
+        assert v == auto.count_vertices(299) + auto.count_vertices(298)

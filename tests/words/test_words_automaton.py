@@ -1,0 +1,115 @@
+"""Unit tests for the KMP factor automaton."""
+
+import pytest
+
+from repro.words.automaton import (
+    FactorAutomaton,
+    kmp_failure,
+    matrix_mult,
+    matrix_power,
+)
+
+from tests.conftest import naive_all_words
+
+
+class TestFailureFunction:
+    def test_no_borders(self):
+        assert kmp_failure("10") == [0, 0]
+
+    def test_classic(self):
+        assert kmp_failure("1011") == [0, 0, 1, 1]
+
+    def test_periodic(self):
+        assert kmp_failure("1010") == [0, 0, 1, 2]
+
+    def test_all_same(self):
+        assert kmp_failure("1111") == [0, 1, 2, 3]
+
+    def test_single(self):
+        assert kmp_failure("0") == [0]
+
+
+class TestAutomaton:
+    @pytest.mark.parametrize("f", ["1", "0", "11", "10", "110", "101", "1010", "11010", "10010"])
+    def test_avoids_matches_substring_test(self, f):
+        auto = FactorAutomaton(f)
+        for d in range(0, 8):
+            for w in naive_all_words(d):
+                assert auto.avoids(w) == (f not in w), (f, w)
+
+    def test_run_reaches_forbidden_and_stays(self):
+        auto = FactorAutomaton("101")
+        assert auto.run("0101") == auto.forbidden
+        assert auto.run("010111") == auto.forbidden  # absorbing
+
+    def test_run_partial_progress(self):
+        auto = FactorAutomaton("110")
+        # "11" matches 2 characters of the pattern
+        assert auto.run("11") == 2
+
+    def test_step_rejects_bad_bit(self):
+        auto = FactorAutomaton("11")
+        with pytest.raises(ValueError):
+            auto.step(0, "2")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            FactorAutomaton("")
+
+    def test_non_binary_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            FactorAutomaton("12")
+
+    def test_num_states(self):
+        assert FactorAutomaton("1101").num_states == 5
+
+    def test_safe_successors_avoid_forbidden(self):
+        auto = FactorAutomaton("11")
+        # from state 1 (just read a 1), reading 1 would be forbidden
+        succ = auto.safe_successors(1)
+        assert ("0", 0) not in succ  # bits are ints
+        bits = [bit for bit, _ in succ]
+        assert bits == [0]
+
+    def test_transfer_matrix_row_sums(self):
+        # every non-forbidden state has exactly 2 outgoing bits, of which
+        # the matrix keeps those not entering the forbidden state
+        auto = FactorAutomaton("111")
+        mat = auto.transfer_matrix()
+        for s, row in enumerate(mat):
+            assert sum(row) in (1, 2)
+
+    def test_transfer_matrix_counts_words(self):
+        auto = FactorAutomaton("11")
+        mat = auto.transfer_matrix()
+        power = matrix_power(mat, 5)
+        # F_{7} = 13 words of length 5 avoid 11
+        assert sum(power[0]) == 13
+
+
+class TestMatrixHelpers:
+    def test_mult_identity(self):
+        a = [[1, 2], [3, 4]]
+        eye = [[1, 0], [0, 1]]
+        assert matrix_mult(a, eye) == a
+        assert matrix_mult(eye, a) == a
+
+    def test_power_zero_is_identity(self):
+        a = [[2, 1], [1, 1]]
+        assert matrix_power(a, 0) == [[1, 0], [0, 1]]
+
+    def test_power_matches_repeated_mult(self):
+        a = [[2, 1], [1, 1]]
+        expected = a
+        for _ in range(4):
+            expected = matrix_mult(expected, a)
+        assert matrix_power(a, 5) == expected
+
+    def test_power_negative_raises(self):
+        with pytest.raises(ValueError):
+            matrix_power([[1]], -1)
+
+    def test_fibonacci_via_matrix(self):
+        fib = [[1, 1], [1, 0]]
+        p = matrix_power(fib, 10)
+        assert p[0][1] == 55  # F_10

@@ -1,0 +1,206 @@
+"""Unit tests for repro.words.core (Section 2 primitives)."""
+
+import pytest
+
+from repro.words.core import (
+    all_words,
+    block_string,
+    blocks,
+    complement,
+    concat_blocks,
+    contains_factor,
+    e_i,
+    flip,
+    hamming,
+    int_to_word,
+    is_binary_word,
+    reverse,
+    validate_word,
+    word_add,
+    word_to_int,
+)
+
+
+class TestValidation:
+    def test_binary_words_accepted(self):
+        for w in ("", "0", "1", "0101", "111000"):
+            assert is_binary_word(w)
+
+    def test_non_binary_rejected(self):
+        for w in ("2", "ab", "01x", " 01"):
+            assert not is_binary_word(w)
+
+    def test_non_string_rejected(self):
+        assert not is_binary_word(101)
+        assert not is_binary_word(None)
+        assert not is_binary_word(["0", "1"])
+
+    def test_validate_passthrough(self):
+        assert validate_word("0110") == "0110"
+
+    def test_validate_raises(self):
+        with pytest.raises(ValueError, match="myname"):
+            validate_word("012", name="myname")
+
+
+class TestComplementReverse:
+    def test_complement_simple(self):
+        assert complement("1100") == "0011"
+
+    def test_complement_empty(self):
+        assert complement("") == ""
+
+    def test_complement_involution(self):
+        for w in ("0", "1", "0101", "1110001"):
+            assert complement(complement(w)) == w
+
+    def test_reverse_simple(self):
+        assert reverse("110") == "011"
+
+    def test_reverse_involution(self):
+        for w in ("", "10", "11010"):
+            assert reverse(reverse(w)) == w
+
+    def test_complement_reverse_commute(self):
+        for w in ("110", "10010", "111000"):
+            assert complement(reverse(w)) == reverse(complement(w))
+
+
+class TestWordAddFlip:
+    def test_add_is_xor(self):
+        assert word_add("1100", "1010") == "0110"
+
+    def test_add_identity(self):
+        assert word_add("1011", "0000") == "1011"
+
+    def test_add_self_is_zero(self):
+        assert word_add("1011", "1011") == "0000"
+
+    def test_add_length_mismatch(self):
+        with pytest.raises(ValueError):
+            word_add("10", "100")
+
+    def test_flip_matches_add_ei(self):
+        w = "10110"
+        for i in range(5):
+            assert flip(w, i) == word_add(w, e_i(5, i))
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(IndexError):
+            flip("101", 3)
+        with pytest.raises(IndexError):
+            flip("101", -1)
+
+    def test_e_i_structure(self):
+        assert e_i(4, 0) == "1000"
+        assert e_i(4, 3) == "0001"
+
+    def test_e_i_out_of_range(self):
+        with pytest.raises(IndexError):
+            e_i(3, 3)
+
+
+class TestHamming:
+    def test_identical(self):
+        assert hamming("1010", "1010") == 0
+
+    def test_all_differ(self):
+        assert hamming("1111", "0000") == 4
+
+    def test_symmetric(self):
+        assert hamming("1100", "1010") == hamming("1010", "1100") == 2
+
+    def test_mismatched_length_raises(self):
+        with pytest.raises(ValueError):
+            hamming("10", "100")
+
+    def test_flip_changes_by_one(self):
+        w = "011010"
+        for i in range(len(w)):
+            assert hamming(w, flip(w, i)) == 1
+
+
+class TestFactor:
+    def test_contains_self(self):
+        assert contains_factor("1011", "1011")
+
+    def test_contains_middle(self):
+        assert contains_factor("01101", "110")
+
+    def test_absent(self):
+        assert not contains_factor("10101", "11")
+
+    def test_empty_factor_everywhere(self):
+        assert contains_factor("101", "")
+        assert contains_factor("", "")
+
+    def test_factor_longer_than_word(self):
+        assert not contains_factor("10", "101")
+
+
+class TestBlocks:
+    def test_single_block(self):
+        assert blocks("1111") == [("1", 4)]
+
+    def test_alternating(self):
+        assert blocks("1010") == [("1", 1), ("0", 1), ("1", 1), ("0", 1)]
+
+    def test_paper_example(self):
+        assert blocks("110100") == [("1", 2), ("0", 1), ("1", 1), ("0", 2)]
+
+    def test_empty(self):
+        assert blocks("") == []
+
+    def test_roundtrip(self):
+        for w in ("1", "10", "1101", "000111000"):
+            assert block_string(blocks(w)) == w
+
+    def test_concat_blocks(self):
+        assert concat_blocks(("1", 2), ("0", 3), ("1", 1)) == "110001"
+
+    def test_concat_blocks_zero_run(self):
+        assert concat_blocks(("1", 2), ("0", 0), ("1", 1)) == "111"
+
+    def test_block_string_rejects_bad_digit(self):
+        with pytest.raises(ValueError):
+            block_string([("2", 1)])
+
+    def test_block_string_rejects_negative_run(self):
+        with pytest.raises(ValueError):
+            block_string([("1", -1)])
+
+
+class TestIntCodec:
+    def test_round_trip_all_d4(self):
+        for code in range(16):
+            w = int_to_word(code, 4)
+            assert word_to_int(w) == code
+
+    def test_msb_is_first_letter(self):
+        assert word_to_int("100") == 4
+        assert word_to_int("001") == 1
+
+    def test_lex_order_equals_numeric_order(self):
+        words = list(all_words(5))
+        codes = [word_to_int(w) for w in words]
+        assert codes == sorted(codes)
+        assert words == sorted(words)
+
+    def test_empty_word(self):
+        assert word_to_int("") == 0
+        assert int_to_word(0, 0) == ""
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_word(8, 3)
+        with pytest.raises(ValueError):
+            int_to_word(-1, 3)
+        with pytest.raises(ValueError):
+            int_to_word(0, -1)
+
+    def test_all_words_count(self):
+        assert len(list(all_words(6))) == 64
+
+    def test_all_words_negative(self):
+        with pytest.raises(ValueError):
+            list(all_words(-1))

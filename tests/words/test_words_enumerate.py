@@ -1,0 +1,69 @@
+"""Unit tests for factor-avoiding enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.words.core import word_to_int
+from repro.words.enumerate import (
+    avoiding_int_array,
+    count_avoiding_bruteforce,
+    iter_avoiding,
+    list_avoiding,
+)
+
+from tests.conftest import naive_avoiding
+
+
+FACTORS = ["1", "11", "10", "110", "101", "1100", "1010", "11010", "10110"]
+
+
+class TestIterAvoiding:
+    @pytest.mark.parametrize("f", FACTORS)
+    @pytest.mark.parametrize("d", [0, 1, 3, 6])
+    def test_matches_naive_filter(self, f, d):
+        assert list_avoiding(f, d) == naive_avoiding(f, d)
+
+    def test_lexicographic_order(self):
+        words = list_avoiding("11", 7)
+        assert words == sorted(words)
+
+    def test_d_zero_yields_empty_word(self):
+        assert list_avoiding("101", 0) == [""]
+
+    def test_factor_one_only_zeros(self):
+        assert list_avoiding("1", 4) == ["0000"]
+
+    def test_empty_factor_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_avoiding("", 3))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_avoiding("11", -1))
+
+
+class TestAvoidingIntArray:
+    @pytest.mark.parametrize("f", FACTORS)
+    @pytest.mark.parametrize("d", [0, 1, 4, 7])
+    def test_matches_string_enumeration(self, f, d):
+        codes = avoiding_int_array(f, d)
+        expected = np.array([word_to_int(w) for w in naive_avoiding(f, d)], dtype=np.int64)
+        assert np.array_equal(codes, expected)
+
+    def test_sorted(self):
+        codes = avoiding_int_array("110", 9)
+        assert np.all(np.diff(codes) > 0)
+
+    def test_dtype(self):
+        assert avoiding_int_array("11", 5).dtype == np.int64
+
+    def test_d_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            avoiding_int_array("11", 63)
+
+    def test_large_d_matches_fibonacci(self):
+        # |V(Gamma_20)| = F_22 = 17711
+        assert avoiding_int_array("11", 20).size == 17711
+
+    def test_count_bruteforce_helper(self):
+        assert count_avoiding_bruteforce("11", 6) == 21

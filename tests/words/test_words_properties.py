@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the word substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.words.automaton import FactorAutomaton
+from repro.words.core import (
+    blocks,
+    block_string,
+    complement,
+    contains_factor,
+    flip,
+    hamming,
+    int_to_word,
+    reverse,
+    word_add,
+    word_to_int,
+)
+
+binary_words = st.text(alphabet="01", min_size=0, max_size=24)
+nonempty_words = st.text(alphabet="01", min_size=1, max_size=24)
+factors = st.text(alphabet="01", min_size=1, max_size=6)
+
+
+@given(binary_words)
+def test_complement_involution(w):
+    assert complement(complement(w)) == w
+
+
+@given(binary_words)
+def test_reverse_involution(w):
+    assert reverse(reverse(w)) == w
+
+
+@given(binary_words)
+def test_complement_reverse_commute(w):
+    assert complement(reverse(w)) == reverse(complement(w))
+
+
+@given(nonempty_words, factors)
+def test_factor_symmetry_under_complement(w, f):
+    """f factor of w  <=>  complement(f) factor of complement(w) (Lemma 2.2 core)."""
+    assert contains_factor(w, f) == contains_factor(complement(w), complement(f))
+
+
+@given(nonempty_words, factors)
+def test_factor_symmetry_under_reversal(w, f):
+    """f factor of w  <=>  reverse(f) factor of reverse(w) (Lemma 2.3 core)."""
+    assert contains_factor(w, f) == contains_factor(reverse(w), reverse(f))
+
+
+@given(binary_words)
+def test_blocks_roundtrip(w):
+    assert block_string(blocks(w)) == w
+
+
+@given(binary_words)
+def test_blocks_are_maximal(w):
+    bs = blocks(w)
+    for (d1, _), (d2, _) in zip(bs, bs[1:]):
+        assert d1 != d2
+
+
+@given(st.data())
+def test_word_add_abelian_group(data):
+    d = data.draw(st.integers(min_value=1, max_value=16))
+    fixed = st.text(alphabet="01", min_size=d, max_size=d)
+    a, b, c = data.draw(fixed), data.draw(fixed), data.draw(fixed)
+    assert word_add(a, b) == word_add(b, a)
+    assert word_add(word_add(a, b), c) == word_add(a, word_add(b, c))
+    assert word_add(a, a) == "0" * d
+
+
+@given(st.data())
+def test_hamming_is_metric(data):
+    d = data.draw(st.integers(min_value=1, max_value=16))
+    fixed = st.text(alphabet="01", min_size=d, max_size=d)
+    a, b, c = data.draw(fixed), data.draw(fixed), data.draw(fixed)
+    assert hamming(a, b) == hamming(b, a)
+    assert (hamming(a, b) == 0) == (a == b)
+    assert hamming(a, c) <= hamming(a, b) + hamming(b, c)
+
+
+@given(st.data())
+def test_flip_changes_hamming_by_one(data):
+    w = data.draw(nonempty_words)
+    i = data.draw(st.integers(min_value=0, max_value=len(w) - 1))
+    assert hamming(w, flip(w, i)) == 1
+    assert flip(flip(w, i), i) == w
+
+
+@given(st.integers(min_value=0, max_value=20), st.data())
+def test_int_codec_roundtrip(d, data):
+    code = data.draw(st.integers(min_value=0, max_value=(1 << d) - 1))
+    assert word_to_int(int_to_word(code, d)) == code
+
+
+@given(nonempty_words, factors)
+def test_automaton_agrees_with_substring(w, f):
+    assert FactorAutomaton(f).avoids(w) == (f not in w)
+
+
+@given(factors, factors)
+@settings(max_examples=60)
+def test_automaton_concatenation_closure(f, prefix):
+    """Running the automaton is compositional: state after prefix+suffix
+    equals running the suffix from the prefix state (when not forbidden)."""
+    auto = FactorAutomaton(f)
+    s1 = auto.run(prefix)
+    if s1 == auto.forbidden:
+        return
+    suffix = "01" * 3
+    s_direct = auto.run(prefix + suffix)
+    s_chained = s1
+    for ch in suffix:
+        s_chained = auto.table[s_chained][ch == "1"]
+    assert s_direct == s_chained
