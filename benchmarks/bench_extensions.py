@@ -140,6 +140,6 @@ def test_bench_x1_lattice_dimension(benchmark):
         return out
 
     rows = benchmark(sweep)
-    for d, i, l in rows:
-        assert i == d and l <= i
+    for d, i, label in rows:
+        assert i == d and label <= i
     print_table("Gamma_d: isometric vs lattice dimension", ["d", "idim", "ldim"], rows)

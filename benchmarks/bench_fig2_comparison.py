@@ -12,7 +12,6 @@ We reproduce the figure's pair (d = 4) exactly and sweep the identities
 over a long series (automaton counters keep it exact at large d).
 """
 
-from repro.cubes.generalized import generalized_fibonacci_cube
 from repro.invariants.counts import brute_counts
 from repro.invariants.structure import structure_report
 from repro.words.counting import (

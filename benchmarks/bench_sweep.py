@@ -1,0 +1,54 @@
+"""N2 -- saturation-curve sweeps (the evaluation the 1993 papers plot).
+
+Drives the sweep harness over a Fibonacci-cube-vs-hypercube grid across
+four traffic patterns and rising offered load, checks the physics
+(latency monotone in load, hotspot worse than uniform), and times the
+grid as one benchmark unit.
+"""
+
+from repro.network.sweep import run_sweep, saturation_curves
+
+from conftest import print_table
+
+GRID = dict(
+    topologies=["Q:6", "11:6"],
+    patterns=("uniform", "transpose", "tornado", "hotspot"),
+    loads=(0.1, 0.3, 0.6),
+    inject_window=32,
+)
+
+
+def test_bench_n2_saturation_grid(benchmark):
+    records = benchmark(run_sweep, **GRID)
+    assert len(records) == 2 * 4 * 3
+    curves = saturation_curves(records)
+    rows = []
+    for (topo, router, pattern), curve in sorted(curves.items()):
+        # latency can only stay flat or grow as offered load rises
+        lats = [r.avg_latency for r in curve]
+        assert lats[-1] >= lats[0] * 0.95, (topo, pattern, lats)
+        rows.append(
+            (topo, pattern,
+             " -> ".join(f"{r.avg_latency:.1f}" for r in curve),
+             f"{curve[-1].delivery_rate:.3f}")
+        )
+    print_table(
+        "Avg latency across offered loads 0.1 -> 0.3 -> 0.6",
+        ["topology", "pattern", "avg latency", "delivery@0.6"],
+        rows,
+    )
+    # hotspot concentrates at one node: worse than uniform at equal load
+    for topo in ("Q_6", "Q_6(11)"):
+        hot = curves[(topo, "bfs", "hotspot")][-1]
+        uni = curves[(topo, "bfs", "uniform")][-1]
+        assert hot.avg_latency > uni.avg_latency, topo
+
+
+def test_bench_n2_parallel_matches_serial(benchmark):
+    serial = run_sweep(["11:5"], patterns=("uniform",), loads=(0.2, 0.4),
+                       inject_window=16)
+    parallel = benchmark(
+        run_sweep, ["11:5"], patterns=("uniform",), loads=(0.2, 0.4),
+        inject_window=16, processes=2,
+    )
+    assert parallel == serial

@@ -20,7 +20,6 @@ Run:  python examples/interconnect_design.py [d]
 
 import sys
 
-from repro.cubes.generalized import generalized_fibonacci_cube
 from repro.cubes.hypercube import hypercube
 from repro.network import (
     BfsRouter,

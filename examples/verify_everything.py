@@ -13,8 +13,7 @@ Run:  python examples/verify_everything.py
 import sys
 import time
 
-from repro.classify import classification_table, classify_with_bruteforce, table1_expected
-from repro.classify.verdict import Status
+from repro.classify import classification_table, table1_expected
 from repro.combinat.identities import gamma_square_count
 from repro.conjectures import q101_ladder_certificate, q101_not_partial_cube, sweep_conjecture_81
 from repro.cubes.generalized import generalized_fibonacci_cube

@@ -15,6 +15,11 @@ Subcommands
     Interconnection metrics + routing/broadcast summary of the topology.
 ``gfc ladder D``
     Verify the Section 8 :math:`\\Theta^*`-ladder of :math:`Q_D(101)`.
+``gfc sweep``
+    Saturation-curve sweeps over (topology x router x pattern x load)
+    grids on the vectorized network simulator, with CSV/JSON output.
+
+Installed both as ``gfc`` and as ``repro``.
 """
 
 from __future__ import annotations
@@ -80,6 +85,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_wie.add_argument("factor")
     p_wie.add_argument("d", type=int)
 
+    p_swp = sub.add_parser(
+        "sweep",
+        help="saturation-curve sweep on the vectorized network simulator",
+    )
+    p_swp.add_argument(
+        "--topo", action="append", dest="topos", metavar="SPEC",
+        help="topology spec 'Q:<d>' or '<factor>:<d>'; repeatable "
+             "(default: Q:7 and 11:7)",
+    )
+    p_swp.add_argument(
+        "--patterns", default="uniform,transpose,tornado,hotspot",
+        help="comma-separated traffic patterns (default: %(default)s)",
+    )
+    p_swp.add_argument(
+        "--loads", default="0.1,0.2,0.4,0.6,0.8",
+        help="comma-separated offered loads, packets/node/cycle "
+             "(default: %(default)s)",
+    )
+    p_swp.add_argument(
+        "--routers", default="bfs",
+        help="comma-separated routers: bfs, canonical, ecube, greedy "
+             "(default: %(default)s)",
+    )
+    p_swp.add_argument(
+        "--seeds", default="0", help="comma-separated RNG seeds (default: 0)"
+    )
+    p_swp.add_argument(
+        "--window", type=int, default=64,
+        help="injection window in cycles (default: %(default)s)",
+    )
+    p_swp.add_argument(
+        "--max-cycles", type=int, default=100000,
+        help="simulation cycle cap per point (default: %(default)s)",
+    )
+    p_swp.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes for the grid (default: serial)",
+    )
+    p_swp.add_argument("--csv", metavar="PATH", help="write records as CSV")
+    p_swp.add_argument("--json", metavar="PATH", help="write records as JSON")
+
     return parser
 
 
@@ -105,7 +151,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_spectrum(args)
     if args.command == "wiener":
         return _cmd_wiener(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError("unreachable")
+
+
+def _cmd_sweep(args) -> int:
+    from repro.network.sweep import (
+        run_sweep,
+        saturation_curves,
+        write_csv,
+        write_json,
+    )
+
+    topos = args.topos or ["Q:7", "11:7"]
+    try:
+        records = run_sweep(
+            topologies=topos,
+            patterns=[p for p in args.patterns.split(",") if p],
+            loads=[float(x) for x in args.loads.split(",") if x],
+            routers=[r for r in args.routers.split(",") if r],
+            seeds=[int(s) for s in args.seeds.split(",") if s],
+            inject_window=args.window,
+            max_cycles=args.max_cycles,
+            processes=args.processes,
+        )
+    except ValueError as exc:
+        print(f"sweep: error: {exc}", file=sys.stderr)
+        return 2
+    header = (
+        f"{'topology':>12} {'router':>9} {'pattern':>12} {'load':>6} "
+        f"{'avg lat':>8} {'p95':>7} {'thruput':>8} {'deliv':>6} {'maxq':>5}"
+    )
+    for (topo, router, pattern), curve in sorted(saturation_curves(records).items()):
+        print(f"-- {topo} / {router} / {pattern}")
+        print(header)
+        for r in curve:
+            print(
+                f"{r.topology:>12} {r.router:>9} {r.pattern:>12} {r.load:>6.2f} "
+                f"{r.avg_latency:>8.2f} {r.p95_latency:>7.1f} {r.throughput:>8.3f} "
+                f"{r.delivery_rate:>6.3f} {r.max_queue:>5}"
+            )
+    if args.csv:
+        write_csv(records, args.csv)
+        print(f"wrote {len(records)} records to {args.csv}")
+    if args.json:
+        write_json(records, args.json)
+        print(f"wrote {len(records)} records to {args.json}")
+    return 0
 
 
 def _cmd_multifactor(args) -> int:

@@ -21,11 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-import numpy as np
 
 from repro.cubes.generalized import generalized_fibonacci_cube
 from repro.graphs.traversal import all_pairs_distances
-from repro.isometry.theta import is_partial_cube, theta_matrix
+from repro.isometry.theta import is_partial_cube
 
 __all__ = ["q101_ladder_certificate", "q101_not_partial_cube", "Q101Ladder"]
 

@@ -13,12 +13,12 @@ use (trees, cycles, grids, small cubes).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.graphs.core import Graph
-from repro.graphs.traversal import all_pairs_distances, bfs_distances
+from repro.graphs.traversal import all_pairs_distances
 
 __all__ = ["find_isometric_embedding", "is_isometrically_embeddable"]
 

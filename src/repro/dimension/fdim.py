@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.classify.engine import classify
 from repro.classify.rules import applicable_rules
 from repro.classify.verdict import Status
 from repro.cubes.generalized import generalized_fibonacci_cube

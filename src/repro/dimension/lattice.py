@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-import numpy as np
 
 from repro.graphs.core import Graph
 from repro.graphs.traversal import all_pairs_distances

@@ -18,7 +18,7 @@ top.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

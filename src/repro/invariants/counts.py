@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List
+from typing import List
 
 from repro.combinat.identities import fibonacci_convolution
 from repro.combinat.sequences import fibonacci

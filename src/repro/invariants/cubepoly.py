@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.combinat.sequences import fibonacci
 from repro.cubes.generalized import generalized_fibonacci_cube
 
 __all__ = ["cube_coefficients", "cube_polynomial_eval", "gamma_cube_coefficient"]

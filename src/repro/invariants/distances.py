@@ -18,7 +18,7 @@ isometric, which the tests exploit.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict
 
 import numpy as np
 

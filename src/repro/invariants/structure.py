@@ -14,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.cubes.generalized import GeneralizedFibonacciCube, generalized_fibonacci_cube
-from repro.graphs.traversal import diameter, eccentricities, is_connected, radius
+from repro.cubes.generalized import generalized_fibonacci_cube
+from repro.graphs.traversal import diameter, is_connected, radius
 
 __all__ = ["StructureReport", "structure_report"]
 

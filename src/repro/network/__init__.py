@@ -16,19 +16,26 @@ generalized Fibonacci cube:
 - :mod:`repro.network.simulator` -- synchronous message-passing simulator
   with FIFO link queues (the "hardware" substitute: per DESIGN.md, graph
   metrics need no silicon, but the simulator lets us measure latency
-  under contention);
+  under contention); the vectorized engine advances whole cycles with
+  NumPy array operations, the reference engine is the per-packet spec;
+- :mod:`repro.network.traffic` -- seeded, topology-aware traffic pattern
+  library (uniform, permutation, transpose, bit-reversal, tornado,
+  hotspot, bursty);
+- :mod:`repro.network.sweep` -- multiprocessing sweep harness producing
+  saturation curves over (topology x router x pattern x load) grids;
 - :mod:`repro.network.faults` -- fault injection and rerouting studies;
 - :mod:`repro.network.hamilton` -- Hamiltonian path/cycle search
   ("generalized Fibonacci cubes are mostly Hamiltonian", Liu--Hsu--Chung).
 """
 
-from repro.network.topology import Topology, topology_of
+from repro.network.topology import Topology, faulted_topology, topology_of
 from repro.network.routing import (
     BfsRouter,
     CanonicalRouter,
     DimensionOrderRouter,
     GreedyRouter,
     RouteStats,
+    RouteTable,
     route_stats,
 )
 from repro.network.broadcast import (
@@ -36,7 +43,34 @@ from repro.network.broadcast import (
     broadcast_rounds,
     verify_schedule,
 )
-from repro.network.simulator import NetworkSimulator, SimResult, uniform_traffic
+from repro.network.simulator import (
+    NetworkSimulator,
+    ReferenceSimulator,
+    SimResult,
+    VectorizedSimulator,
+    uniform_traffic,
+)
+from repro.network.traffic import (
+    PATTERNS,
+    bit_reversal_traffic,
+    bursty_traffic,
+    hotspot_traffic,
+    make_traffic,
+    permutation_traffic,
+    tornado_traffic,
+    transpose_traffic,
+)
+from repro.network.sweep import (
+    PointSpec,
+    ROUTERS,
+    SweepRecord,
+    parse_topology,
+    run_point,
+    run_sweep,
+    saturation_curves,
+    write_csv,
+    write_json,
+)
 from repro.network.faults import FaultReport, fault_tolerance_trial
 from repro.network.hamilton import find_hamiltonian_cycle, find_hamiltonian_path
 from repro.network.deadlock import (
@@ -53,12 +87,33 @@ from repro.network.cycles import (
 __all__ = [
     "Topology",
     "topology_of",
+    "faulted_topology",
     "BfsRouter",
     "CanonicalRouter",
     "DimensionOrderRouter",
     "GreedyRouter",
     "RouteStats",
+    "RouteTable",
     "route_stats",
+    "ReferenceSimulator",
+    "VectorizedSimulator",
+    "PATTERNS",
+    "bit_reversal_traffic",
+    "bursty_traffic",
+    "hotspot_traffic",
+    "make_traffic",
+    "permutation_traffic",
+    "tornado_traffic",
+    "transpose_traffic",
+    "PointSpec",
+    "ROUTERS",
+    "SweepRecord",
+    "parse_topology",
+    "run_point",
+    "run_sweep",
+    "saturation_curves",
+    "write_csv",
+    "write_json",
     "binomial_broadcast_schedule",
     "broadcast_rounds",
     "verify_schedule",

@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
-import numpy as np
 
 from repro.graphs.traversal import all_pairs_distances, connected_components
 from repro.network.topology import Topology

@@ -22,7 +22,7 @@ as a list of node indices):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ __all__ = [
     "DimensionOrderRouter",
     "GreedyRouter",
     "RouteStats",
+    "RouteTable",
     "route_stats",
 ]
 
@@ -58,6 +59,54 @@ class BfsRouter:
                 return None
             path.append(cur)
         return path
+
+    def build_table(
+        self, topo: Topology, pairs: Iterable[Tuple[int, int]]
+    ) -> "RouteTable":
+        """Batched table build: one BFS per *destination* plus a
+        vectorised next-hop extraction, instead of one BFS per pair.
+
+        For every destination the next-hop array ``toward[v]`` is the
+        first neighbour of ``v`` (in adjacency order) that is strictly
+        closer to the destination -- exactly the vertex
+        :meth:`route`'s ``min(..., key=dist)`` picks -- so the batched
+        paths are identical to the per-pair ones.
+        """
+        g = topo.graph
+        n = g.num_vertices
+        indptr, indices = g.csr()
+        order = list(dict.fromkeys(pairs))  # dedupe, keep first-seen order
+        data: List[int] = []
+        offsets: List[int] = [0]
+        pair_row: Dict[Tuple[int, int], int] = {}
+        counts = indptr[1:] - indptr[:-1]
+        rows_of = np.repeat(np.arange(n, dtype=np.int64), counts)
+        for dst in sorted({d for _, d in order}):
+            dist = bfs_distances(g, dst)
+            # toward[v]: first neighbour with dist == dist[v] - 1
+            closer = dist[indices] == dist[rows_of] - 1
+            hit_rows, first_at = np.unique(rows_of[closer], return_index=True)
+            toward = np.full(n, -1, dtype=np.int64)
+            toward[hit_rows] = indices[np.flatnonzero(closer)[first_at]]
+            for src, d in order:
+                if d != dst:
+                    continue
+                if dist[src] < 0:
+                    pair_row[(src, d)] = -1
+                    continue
+                path = [src]
+                cur = src
+                while cur != dst:
+                    cur = int(toward[cur])
+                    path.append(cur)
+                pair_row[(src, d)] = len(offsets) - 1
+                data.extend(path)
+                offsets.append(len(data))
+        return RouteTable(
+            route_data=np.asarray(data, dtype=np.int64),
+            route_offsets=np.asarray(offsets, dtype=np.int64),
+            pair_row=pair_row,
+        )
 
 
 class CanonicalRouter:
@@ -165,6 +214,66 @@ class GreedyRouter:
             cur = nxt
             path.append(cur)
         return path
+
+
+@dataclass
+class RouteTable:
+    """Batched routes in a flat CSR-style layout.
+
+    Row ``r`` is the node sequence
+    ``route_data[route_offsets[r] : route_offsets[r + 1]]``.  ``pair_row``
+    maps each resolved ``(src, dst)`` pair to its row, or to ``-1`` when
+    the router failed the pair (the packet is dropped at injection).
+
+    The table is what the vectorized simulator consumes: routes are
+    resolved once per *unique* pair instead of once per packet, and the
+    flat arrays let the engine advance every in-flight packet with NumPy
+    gathers instead of per-packet list indexing.
+    """
+
+    route_data: np.ndarray
+    route_offsets: np.ndarray
+    pair_row: Dict[Tuple[int, int], int]
+
+    @classmethod
+    def build(
+        cls,
+        topo: Topology,
+        router,
+        pairs: Iterable[Tuple[int, int]],
+    ) -> "RouteTable":
+        """Resolve every unique pair through ``router`` into one table."""
+        data: List[int] = []
+        offsets: List[int] = [0]
+        pair_row: Dict[Tuple[int, int], int] = {}
+        for pair in pairs:
+            if pair in pair_row:
+                continue
+            src, dst = pair
+            path = router.route(topo, src, dst)
+            if path is None:
+                pair_row[pair] = -1
+                continue
+            pair_row[pair] = len(offsets) - 1
+            data.extend(path)
+            offsets.append(len(data))
+        return cls(
+            route_data=np.asarray(data, dtype=np.int64),
+            route_offsets=np.asarray(offsets, dtype=np.int64),
+            pair_row=pair_row,
+        )
+
+    @property
+    def num_routes(self) -> int:
+        return len(self.route_offsets) - 1
+
+    def lengths(self) -> np.ndarray:
+        """Node count of every route (hops + 1), one entry per row."""
+        return self.route_offsets[1:] - self.route_offsets[:-1]
+
+    def route_nodes(self, row: int) -> np.ndarray:
+        """The node sequence of row ``row`` (a view, do not mutate)."""
+        return self.route_data[self.route_offsets[row] : self.route_offsets[row + 1]]
 
 
 @dataclass(frozen=True)

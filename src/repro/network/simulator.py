@@ -12,7 +12,29 @@ Model
   :mod:`repro.network.routing`); on each cycle every link forwards the
   head-of-queue packet to the next queue on its route.
 - Packets are injected by a traffic pattern: ``(cycle, src, dst)``
-  triples.
+  triples (see :mod:`repro.network.traffic`).
+
+Two engines implement the *same* deterministic semantics:
+
+- :class:`ReferenceSimulator` -- the readable per-packet/deque loop, the
+  executable specification;
+- :class:`VectorizedSimulator` -- the production engine: routes are
+  batched into a flat CSR :class:`~repro.network.routing.RouteTable`,
+  per-packet state lives in NumPy arrays, per-link FIFOs are intrusive
+  linked lists over those arrays, and each cycle advances every
+  contended link with a handful of array gathers instead of a Python
+  loop over packets.  Idle gaps between injections are skipped
+  outright.  Both engines produce bit-identical :class:`SimResult`
+  values, which the equivalence tests enforce.
+
+Determinism contract (both engines): packets are numbered in injection
+order (stable sort of the traffic by cycle); a link's FIFO serves packets
+in arrival order, ties broken by packet id; packets that arrive at a
+queue while a cycle is being forwarded join *behind* everything already
+queued that cycle.
+
+``NetworkSimulator`` is the vectorized engine (kept as the public name
+for backward compatibility).
 
 Outputs: per-packet latency, average/percentile latency, throughput
 (delivered packets per cycle), and maximum queue occupancy -- enough to
@@ -22,29 +44,33 @@ evaluations did on real machines.
 
 from __future__ import annotations
 
-import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.network.routing import BfsRouter
+import numpy as np
+
+from repro.network.routing import BfsRouter, RouteTable
 from repro.network.topology import Topology
+from repro.network.traffic import uniform_traffic
 
-__all__ = ["NetworkSimulator", "SimResult", "uniform_traffic"]
-
-
-@dataclass
-class _Packet:
-    pid: int
-    route: List[int]
-    hop: int  # index of the node the packet currently sits at
-    injected_at: int
-    delivered_at: Optional[int] = None
+__all__ = [
+    "NetworkSimulator",
+    "ReferenceSimulator",
+    "SimResult",
+    "VectorizedSimulator",
+    "uniform_traffic",
+]
 
 
 @dataclass(frozen=True)
 class SimResult:
-    """Aggregate outcome of one simulation run."""
+    """Aggregate outcome of one simulation run.
+
+    ``latencies`` holds one entry per *delivered* packet, ordered by
+    packet id (= injection order), so results from different engines over
+    the same traffic compare exactly.
+    """
 
     cycles: int
     injected: int
@@ -69,32 +95,60 @@ class SimResult:
         return self.delivered / self.injected if self.injected else 1.0
 
 
-def uniform_traffic(
+class _Prepared:
+    """Traffic resolved against a route table, in array form.
+
+    Packets are stable-sorted by injection cycle and numbered 0..P-1 in
+    that order; pairs the router cannot serve are dropped up front and
+    only counted in ``injected``.
+    """
+
+    __slots__ = ("table", "inject", "row", "num_dropped")
+
+    def __init__(self, table: RouteTable, inject: np.ndarray, row: np.ndarray,
+                 num_dropped: int):
+        self.table = table
+        self.inject = inject
+        self.row = row
+        self.num_dropped = num_dropped
+
+
+def _prepare(
     topo: Topology,
-    num_packets: int,
-    inject_window: int,
-    seed: int = 0,
-) -> List[Tuple[int, int, int]]:
-    """Uniform random traffic: ``num_packets`` triples ``(cycle, src, dst)``
-    with distinct ``src != dst`` drawn uniformly, injection cycles uniform
-    over ``[0, inject_window)``.  Deterministic given ``seed``."""
-    rng = random.Random(seed)
+    router,
+    traffic: Sequence[Tuple[int, int, int]],
+    route_table: Optional[RouteTable],
+) -> _Prepared:
+    arr = np.asarray(traffic, dtype=np.int64).reshape(-1, 3)
+    arr = arr[np.argsort(arr[:, 0], kind="stable")]
     n = topo.num_nodes
-    if n < 2:
-        raise ValueError("uniform traffic needs at least two nodes")
-    out = []
-    for _ in range(num_packets):
-        s = rng.randrange(n)
-        t = rng.randrange(n - 1)
-        if t >= s:
-            t += 1
-        out.append((rng.randrange(max(1, inject_window)), s, t))
-    out.sort()
-    return out
+    codes, inverse = np.unique(arr[:, 1] * n + arr[:, 2], return_inverse=True)
+    pairs = [(int(c) // n, int(c) % n) for c in codes]
+    table = route_table
+    if table is None:
+        if hasattr(router, "build_table"):
+            table = router.build_table(topo, pairs)
+        else:
+            table = RouteTable.build(topo, router, pairs)
+    try:
+        rowmap = np.asarray([table.pair_row[p] for p in pairs], dtype=np.int64)
+    except KeyError as exc:
+        raise ValueError(
+            f"route_table has no entry for traffic pair {exc.args[0]}; "
+            "build the table over every (src, dst) pair in the traffic"
+        ) from None
+    rows = rowmap[inverse] if len(pairs) else np.empty(0, dtype=np.int64)
+    routed = rows >= 0
+    return _Prepared(
+        table=table,
+        inject=arr[routed, 0],
+        row=rows[routed],
+        num_dropped=int((~routed).sum()),
+    )
 
 
-class NetworkSimulator:
-    """Store-and-forward simulator over a :class:`Topology`.
+class ReferenceSimulator:
+    """Store-and-forward simulator: the per-packet executable spec.
 
     Parameters
     ----------
@@ -113,66 +167,248 @@ class NetworkSimulator:
         self,
         traffic: Sequence[Tuple[int, int, int]],
         max_cycles: int = 100000,
+        route_table: Optional[RouteTable] = None,
     ) -> SimResult:
         """Simulate until all deliverable packets arrive (or ``max_cycles``).
 
         Packets whose router returns ``None`` count as injected but are
         dropped immediately (visible through ``delivery_rate``).
+
+        Routes are resolved one packet at a time through ``router.route``
+        (the original engine's behaviour); pass ``route_table`` to reuse a
+        prebuilt table instead, e.g. to time the two cycle engines alone.
         """
+        if route_table is None:
+            inject: List[int] = []
+            routes: List[List[int]] = []
+            dropped = 0
+            for cycle, src, dst in sorted(traffic, key=lambda t: t[0]):
+                path = self.router.route(self.topo, src, dst)
+                if path is None:
+                    dropped += 1
+                else:
+                    inject.append(cycle)
+                    routes.append(path)
+        else:
+            prep = _prepare(self.topo, self.router, traffic, route_table)
+            routes = [prep.table.route_nodes(r).tolist() for r in prep.row]
+            inject = prep.inject.tolist()
+            dropped = prep.num_dropped
+        num = len(routes)
+        delivered_at = [-1] * num
+        hop = [0] * num
         queues: Dict[Tuple[int, int], deque] = {}
-        packets: List[_Packet] = []
-        pending: List[Tuple[int, _Packet]] = []
-        dropped = 0
-        for cycle, src, dst in traffic:
-            route = self.router.route(self.topo, src, dst)
-            if route is None:
-                dropped += 1
-                continue
-            p = _Packet(pid=len(packets), route=route, hop=0, injected_at=cycle)
-            packets.append(p)
-            pending.append((cycle, p))
-        pending.sort(key=lambda cp: cp[0])
-        pending_idx = 0
+        next_pid = 0
         in_flight = 0
         max_queue = 0
         cycle = 0
-        delivered: List[_Packet] = []
-        while (pending_idx < len(pending) or in_flight > 0) and cycle < max_cycles:
-            # inject
-            while pending_idx < len(pending) and pending[pending_idx][0] <= cycle:
-                p = pending[pending_idx][1]
-                pending_idx += 1
-                if len(p.route) == 1:
-                    p.delivered_at = cycle
-                    delivered.append(p)
+        remaining = num
+        while (next_pid < num or in_flight > 0) and cycle < max_cycles:
+            # inject (pids are already in injection-cycle order)
+            while next_pid < num and inject[next_pid] <= cycle:
+                pid = next_pid
+                next_pid += 1
+                route = routes[pid]
+                if len(route) == 1:
+                    delivered_at[pid] = cycle
+                    remaining -= 1
                     continue
-                link = (p.route[0], p.route[1])
-                queues.setdefault(link, deque()).append(p)
+                queues.setdefault((route[0], route[1]), deque()).append(pid)
                 in_flight += 1
-            # forward: one packet per link per cycle
-            arrivals: List[Tuple[_Packet, Tuple[int, int]]] = []
-            for link, q in queues.items():
+            # forward: each link serves its head-of-queue packet
+            arrivals: List[int] = []
+            for q in queues.values():
                 if q:
-                    arrivals.append((q.popleft(), link))
-                    max_queue = max(max_queue, len(q) + 1)
-            for p, link in arrivals:
-                p.hop += 1
-                at = p.route[p.hop]
-                if p.hop == len(p.route) - 1:
-                    p.delivered_at = cycle + 1
-                    delivered.append(p)
+                    max_queue = max(max_queue, len(q))
+                    arrivals.append(q.popleft())
+            # late arrivals join behind this cycle's injections, pid order
+            for pid in sorted(arrivals):
+                hop[pid] += 1
+                route = routes[pid]
+                at = hop[pid]
+                if at == len(route) - 1:
+                    delivered_at[pid] = cycle + 1
+                    remaining -= 1
                     in_flight -= 1
                 else:
-                    nxt = (at, p.route[p.hop + 1])
-                    queues.setdefault(nxt, deque()).append(p)
+                    queues.setdefault((route[at], route[at + 1]), deque()).append(pid)
             cycle += 1
         latencies = tuple(
-            p.delivered_at - p.injected_at for p in delivered if p.delivered_at is not None
+            delivered_at[pid] - inject[pid]
+            for pid in range(num)
+            if delivered_at[pid] >= 0
         )
         return SimResult(
             cycles=max(cycle, 1),
-            injected=len(packets) + dropped,
-            delivered=len(delivered),
+            injected=num + dropped,
+            delivered=num - remaining,
             latencies=latencies,
             max_queue=max_queue,
         )
+
+
+class VectorizedSimulator:
+    """Array-based store-and-forward engine (same semantics, NumPy speed).
+
+    All routes are flattened into a CSR route table and converted to
+    directed-link-id sequences once; per-link FIFOs are intrusive linked
+    lists over flat pid arrays (``qhead``/``qtail``/``qlen`` per link, a
+    ``succ`` pointer per packet).  Every cycle is then a constant number
+    of array operations, each proportional to the *served* set (one
+    packet per busy link), never to the whole waiting population:
+
+    1. inject the packets whose cycle has come (one slice + one grouped
+       append),
+    2. serve every busy link's head with two gathers
+       (``qhead[busy]`` / ``succ[served]``),
+    3. advance the served packets: a gather against the flat link
+       sequences moves survivors to their next queue (grouped append,
+       sorted by ``(link, pid)``), finished packets record their
+       delivery cycle.
+
+    The append order -- this cycle's injections first, then this cycle's
+    forwards, pid-sorted within each group -- reproduces
+    :class:`ReferenceSimulator`'s queue discipline exactly.  Cycles in
+    which every queue is empty are skipped in O(1).
+    """
+
+    def __init__(self, topo: Topology, router=None):
+        self.topo = topo
+        self.router = router if router is not None else BfsRouter()
+
+    # -- route-table flattening -------------------------------------------
+
+    def _link_arrays(self, table: RouteTable) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row directed-link-id sequences ``(link_seq, link_offsets)``.
+
+        Link ids are ranks of the ``u * n + v`` codes of the directed
+        edges actually used, so the per-cycle ``bincount`` stays dense.
+        """
+        data, offsets = table.route_data, table.route_offsets
+        if data.size == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.zeros(len(offsets), dtype=np.int64))
+        n = self.topo.num_nodes
+        last = np.zeros(data.size, dtype=bool)
+        last[offsets[1:] - 1] = True
+        valid = ~last[:-1]
+        codes = data[:-1][valid] * n + data[1:][valid]
+        uniq = np.unique(codes)
+        link_seq = np.searchsorted(uniq, codes)
+        lengths = offsets[1:] - offsets[:-1]
+        link_offsets = np.zeros(len(offsets), dtype=np.int64)
+        np.cumsum(lengths - 1, out=link_offsets[1:])
+        return link_seq, link_offsets
+
+    def run(
+        self,
+        traffic: Sequence[Tuple[int, int, int]],
+        max_cycles: int = 100000,
+        route_table: Optional[RouteTable] = None,
+    ) -> SimResult:
+        """Simulate until all deliverable packets arrive (or ``max_cycles``).
+
+        Semantics (and results) are identical to
+        :meth:`ReferenceSimulator.run`.
+        """
+        prep = _prepare(self.topo, self.router, traffic, route_table)
+        num = len(prep.row)
+        if num == 0:
+            return SimResult(
+                cycles=1, injected=prep.num_dropped, delivered=0,
+                latencies=(), max_queue=0,
+            )
+        link_seq, link_offsets = self._link_arrays(prep.table)
+        num_links = int(link_seq.max()) + 1 if link_seq.size else 1
+        inject = prep.inject
+        nhops = prep.table.lengths()[prep.row] - 1
+        first_link_at = link_offsets[prep.row]
+
+        delivered_at = np.full(num, -1, dtype=np.int64)
+        pos = np.zeros(num, dtype=np.int64)
+        # per-link FIFOs as intrusive linked lists over pid arrays: a queue
+        # is (qhead, qtail, qlen) per link plus a succ pointer per packet,
+        # so append and head-pop are O(1) gathers with no queue objects
+        succ = np.full(num, -1, dtype=np.int64)
+        qhead = np.full(num_links, -1, dtype=np.int64)
+        qtail = np.full(num_links, -1, dtype=np.int64)
+        qlen = np.zeros(num_links, dtype=np.int64)
+
+        def append(pids: np.ndarray, links: np.ndarray) -> None:
+            """Append packets to link queues; FIFO order is (link, pid)."""
+            order = np.lexsort((pids, links))
+            p, ln = pids[order], links[order]
+            boundary = np.ones(p.size, dtype=bool)
+            boundary[1:] = ln[1:] != ln[:-1]
+            succ[p] = -1
+            inner = ~boundary[1:]
+            succ[p[:-1][inner]] = p[1:][inner]
+            glinks = ln[boundary]
+            gheads = p[boundary]
+            gtails = p[np.concatenate((boundary[1:], [True]))]
+            starts = np.flatnonzero(boundary)
+            gsizes = np.diff(np.concatenate((starts, [p.size])))
+            was_empty = qhead[glinks] == -1
+            qhead[glinks[was_empty]] = gheads[was_empty]
+            succ[qtail[glinks[~was_empty]]] = gheads[~was_empty]
+            qtail[glinks] = gtails
+            qlen[glinks] += gsizes
+
+        in_flight = 0
+        next_pid = 0
+        max_queue = 0
+        last_busy = -1  # last cycle that injected or forwarded anything
+        cycle = int(inject[0]) if inject[0] < max_cycles else max_cycles
+        work_left = True
+        while cycle < max_cycles:
+            # inject every packet whose cycle has come
+            if next_pid < num and inject[next_pid] <= cycle:
+                hi = int(np.searchsorted(inject, cycle, side="right"))
+                fresh = np.arange(next_pid, hi, dtype=np.int64)
+                next_pid = hi
+                zero_hop = fresh[nhops[fresh] == 0]
+                delivered_at[zero_hop] = inject[zero_hop]
+                fresh = fresh[nhops[fresh] > 0]
+                if fresh.size:
+                    append(fresh, link_seq[first_link_at[fresh]])
+                    in_flight += fresh.size
+                last_busy = cycle
+            if in_flight:
+                # serve the head of every non-empty queue
+                busy = np.flatnonzero(qlen)
+                max_queue = max(max_queue, int(qlen[busy].max()))
+                served = qhead[busy]
+                qhead[busy] = succ[served]
+                qlen[busy] -= 1
+                pos[served] += 1
+                finished = pos[served] == nhops[served]
+                done = served[finished]
+                moving = served[~finished]
+                delivered_at[done] = cycle + 1
+                in_flight -= done.size
+                if moving.size:
+                    append(moving, link_seq[first_link_at[moving] + pos[moving]])
+                last_busy = cycle
+                cycle += 1
+            elif next_pid < num:
+                cycle = min(int(inject[next_pid]), max_cycles)
+            else:
+                work_left = False
+                break
+        if work_left and (next_pid < num or in_flight):
+            cycles = max(max_cycles, 1)
+        else:
+            cycles = max(last_busy + 1, 1)
+        mask = delivered_at >= 0
+        latencies = tuple((delivered_at[mask] - inject[mask]).tolist())
+        return SimResult(
+            cycles=cycles,
+            injected=num + prep.num_dropped,
+            delivered=int(mask.sum()),
+            latencies=latencies,
+            max_queue=max_queue,
+        )
+
+
+class NetworkSimulator(VectorizedSimulator):
+    """The default simulator: the vectorized engine under its public name."""

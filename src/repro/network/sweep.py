@@ -1,0 +1,233 @@
+"""Sweep harness: saturation studies over (topology x router x pattern x load).
+
+The 1993-lineage comparisons (and every interconnection paper since) are
+latency/throughput *curves*, not single points: offered load rises until
+the network saturates, and the shape of the knee is the verdict on the
+topology.  This module runs those grids at scale:
+
+- a sweep point is a fully picklable :class:`PointSpec` (topology and
+  router are *names*, rebuilt inside the worker), so grids parallelise
+  with :mod:`multiprocessing` across cores;
+- each point generates seeded traffic from :mod:`repro.network.traffic`,
+  runs the vectorized simulator, and condenses the run into a flat
+  :class:`SweepRecord` of floats -- ready for CSV/JSON dumping or for
+  :func:`saturation_curves` to regroup into per-scenario load curves.
+
+Offered load is normalised: ``load`` is packets per node per cycle over
+the injection window, so ``num_packets = round(load * nodes * window)``
+and curves are comparable across topologies of different size.
+
+The ``repro sweep`` CLI subcommand is a thin wrapper over
+:func:`run_sweep` / :func:`write_csv` / :func:`write_json`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import multiprocessing
+from dataclasses import asdict, dataclass, fields
+from functools import lru_cache
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.network.routing import (
+    BfsRouter,
+    CanonicalRouter,
+    DimensionOrderRouter,
+    GreedyRouter,
+)
+from repro.network.simulator import VectorizedSimulator
+from repro.network.topology import Topology, topology_of
+from repro.network.traffic import PATTERNS, make_traffic
+
+__all__ = [
+    "PointSpec",
+    "ROUTERS",
+    "SweepRecord",
+    "parse_topology",
+    "run_point",
+    "run_sweep",
+    "saturation_curves",
+    "write_csv",
+    "write_json",
+]
+
+ROUTERS: Dict[str, Callable[[], object]] = {
+    "bfs": BfsRouter,
+    "canonical": CanonicalRouter,
+    "ecube": DimensionOrderRouter,
+    "greedy": GreedyRouter,
+}
+
+
+@lru_cache(maxsize=None)
+def parse_topology(spec: str) -> Topology:
+    """Build a topology from a compact spec string.
+
+    ``"Q:7"`` (or ``"hypercube:7"``) is the hypercube :math:`Q_7`;
+    ``"11:7"`` is the generalized Fibonacci cube :math:`Q_7(11)` --
+    any avoided factor works, e.g. ``"101:8"``.  Cached per process, so
+    sweep workers amortise construction across their points.
+    """
+    name, sep, dim = spec.partition(":")
+    if not sep:
+        raise ValueError(
+            f"bad topology spec {spec!r}: expected 'Q:<d>' or '<factor>:<d>'"
+        )
+    try:
+        d = int(dim)
+    except ValueError:
+        raise ValueError(f"bad dimension in topology spec {spec!r}") from None
+    if name in ("Q", "hypercube"):
+        from repro.cubes.hypercube import hypercube
+
+        return topology_of(hypercube(d), name=f"Q_{d}")
+    if not name or set(name) - set("01"):
+        raise ValueError(
+            f"bad topology spec {spec!r}: factor must be a binary word"
+        )
+    return topology_of((name, d))
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One picklable grid point (names, not objects)."""
+
+    topology: str
+    router: str = "bfs"
+    pattern: str = "uniform"
+    load: float = 0.2
+    seed: int = 0
+    inject_window: int = 64
+    max_cycles: int = 100000
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """Flattened outcome of one sweep point."""
+
+    topology: str
+    router: str
+    pattern: str
+    load: float
+    seed: int
+    nodes: int
+    injected: int
+    delivered: int
+    cycles: int
+    max_queue: int
+    avg_latency: float
+    p95_latency: float
+    max_latency: int
+    throughput: float
+    delivery_rate: float
+
+
+def run_point(spec: PointSpec) -> SweepRecord:
+    """Run one grid point: build, generate, simulate, condense."""
+    topo = parse_topology(spec.topology)
+    try:
+        router = ROUTERS[spec.router]()
+    except KeyError:
+        raise ValueError(
+            f"unknown router {spec.router!r}; choose from {sorted(ROUTERS)}"
+        ) from None
+    if spec.load <= 0:
+        raise ValueError(f"load must be positive, got {spec.load}")
+    num_packets = max(1, round(spec.load * topo.num_nodes * spec.inject_window))
+    traffic = make_traffic(
+        spec.pattern, topo, num_packets, spec.inject_window, seed=spec.seed
+    )
+    result = VectorizedSimulator(topo, router).run(traffic, max_cycles=spec.max_cycles)
+    lat = sorted(result.latencies)
+    p95 = float(lat[min(len(lat) - 1, (95 * len(lat)) // 100)]) if lat else 0.0
+    return SweepRecord(
+        topology=topo.name,
+        router=spec.router,
+        pattern=spec.pattern,
+        load=spec.load,
+        seed=spec.seed,
+        nodes=topo.num_nodes,
+        injected=result.injected,
+        delivered=result.delivered,
+        cycles=result.cycles,
+        max_queue=result.max_queue,
+        avg_latency=result.avg_latency,
+        p95_latency=p95,
+        max_latency=result.max_latency,
+        throughput=result.throughput,
+        delivery_rate=result.delivery_rate,
+    )
+
+
+def run_sweep(
+    topologies: Sequence[str],
+    patterns: Sequence[str] = ("uniform",),
+    loads: Sequence[float] = (0.1, 0.2, 0.4, 0.6, 0.8),
+    routers: Sequence[str] = ("bfs",),
+    seeds: Sequence[int] = (0,),
+    inject_window: int = 64,
+    max_cycles: int = 100000,
+    processes: int = 1,
+) -> List[SweepRecord]:
+    """Run the full (topology x router x pattern x load x seed) grid.
+
+    ``processes > 1`` distributes points over a multiprocessing pool;
+    specs are validated eagerly (unknown names raise before any worker
+    starts).
+    """
+    for p in patterns:
+        if p not in PATTERNS:
+            raise ValueError(f"unknown traffic pattern {p!r}; choose from {sorted(PATTERNS)}")
+    for r in routers:
+        if r not in ROUTERS:
+            raise ValueError(f"unknown router {r!r}; choose from {sorted(ROUTERS)}")
+    for t in topologies:
+        parse_topology(t)  # raises on a bad spec before any point runs
+    specs = [
+        PointSpec(
+            topology=t, router=r, pattern=p, load=ld, seed=s,
+            inject_window=inject_window, max_cycles=max_cycles,
+        )
+        for t in topologies
+        for r in routers
+        for p in patterns
+        for ld in loads
+        for s in seeds
+    ]
+    if processes > 1 and len(specs) > 1:
+        with multiprocessing.Pool(processes) as pool:
+            return pool.map(run_point, specs)
+    return [run_point(s) for s in specs]
+
+
+def saturation_curves(
+    records: Sequence[SweepRecord],
+) -> Dict[Tuple[str, str, str], List[SweepRecord]]:
+    """Regroup records into per-(topology, router, pattern) load curves,
+    each sorted by offered load (the saturation-curve x axis)."""
+    curves: Dict[Tuple[str, str, str], List[SweepRecord]] = {}
+    for rec in records:
+        curves.setdefault((rec.topology, rec.router, rec.pattern), []).append(rec)
+    for curve in curves.values():
+        curve.sort(key=lambda r: (r.load, r.seed))
+    return curves
+
+
+_FIELDS = [f.name for f in fields(SweepRecord)]
+
+
+def write_csv(records: Sequence[SweepRecord], path: str) -> None:
+    """Dump records as CSV (one header row, one row per sweep point)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        for rec in records:
+            writer.writerow(asdict(rec))
+
+
+def write_json(records: Sequence[SweepRecord], path: str) -> None:
+    """Dump records as a JSON array of objects."""
+    with open(path, "w") as fh:
+        json.dump([asdict(rec) for rec in records], fh, indent=2)
+        fh.write("\n")

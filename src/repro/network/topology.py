@@ -8,16 +8,17 @@ hypercube, the Fibonacci cube and the ``Q_d(1^s)`` family side by side.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.cubes.generalized import GeneralizedFibonacciCube, generalized_fibonacci_cube
 from repro.graphs.core import Graph
-from repro.graphs.traversal import all_pairs_distances, is_connected
+from repro.graphs.traversal import all_pairs_distances, connected_components, is_connected
 
-__all__ = ["Topology", "topology_of"]
+__all__ = ["Topology", "faulted_topology", "topology_of"]
 
 
 @dataclass
@@ -102,3 +103,31 @@ def topology_of(cube_or_graph, name: Optional[str] = None) -> Topology:
                 length = lengths.pop()
         return Topology(name or "graph", cube_or_graph, word_length=length)
     raise TypeError(f"cannot build a topology from {cube_or_graph!r}")
+
+
+def faulted_topology(topo: Topology, num_faults: int, seed: int = 0) -> Topology:
+    """The surviving network after ``num_faults`` random node failures.
+
+    Removes the faulted nodes and keeps the *largest connected component*
+    (a :class:`Topology` must be connected), labels carried over -- the
+    degraded-but-operational network the fault-tolerance simulations run
+    traffic on.  Deterministic given ``seed``.
+    """
+    n = topo.num_nodes
+    if not 0 <= num_faults < n:
+        raise ValueError(f"need 0 <= faults < nodes, got {num_faults} of {n}")
+    rng = random.Random(seed)
+    failed = set(rng.sample(range(n), num_faults))
+    keep = [v for v in range(n) if v not in failed]
+    sub, _ = topo.graph.induced_subgraph(keep)
+    comps = connected_components(sub)
+    largest = max(comps, key=len)
+    if len(largest) < sub.num_vertices:
+        sub, _ = sub.induced_subgraph(largest)
+    if len(largest) < 2:
+        raise ValueError(f"only {len(largest)} node survives {num_faults} faults")
+    return Topology(
+        name=f"{topo.name}-f{num_faults}s{seed}",
+        graph=sub,
+        word_length=topo.word_length,
+    )

@@ -1,0 +1,302 @@
+"""Traffic-pattern library for the network simulator.
+
+Interconnection papers never judge a topology on uniform random traffic
+alone: adversarial permutations (transpose, bit reversal, tornado),
+hotspots and bursty sources are what separate a fat bisection from a thin
+one.  Every generator here produces the simulator's native format -- a
+list of ``(cycle, src, dst)`` triples, sorted, with ``src != dst`` -- and
+is deterministic given ``seed``.
+
+Patterns are *topology-aware*: on word-addressed topologies (all the cube
+families) the structured patterns act on the binary node words, and fall
+back to an index-space mapping whenever the transformed word is not a
+vertex (generalized Fibonacci cubes are not closed under e.g. reversal
+for non-palindromic factors).  The fallback keeps every pattern total on
+every topology, so sweeps can run the same scenario grid everywhere.
+
+The registry :data:`PATTERNS` / :func:`make_traffic` is what the sweep
+harness and the ``repro sweep`` CLI iterate over.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.topology import Topology
+
+__all__ = [
+    "PATTERNS",
+    "bit_reversal_traffic",
+    "bursty_traffic",
+    "hotspot_traffic",
+    "make_traffic",
+    "permutation_traffic",
+    "tornado_traffic",
+    "transpose_traffic",
+    "uniform_traffic",
+]
+
+Traffic = List[Tuple[int, int, int]]
+
+
+def _check_args(topo: Topology, num_packets: int, inject_window: int) -> int:
+    if topo.num_nodes < 2:
+        raise ValueError("traffic generation needs at least two nodes")
+    if num_packets < 0:
+        raise ValueError(f"num_packets must be non-negative, got {num_packets}")
+    if inject_window < 1:
+        raise ValueError(f"inject_window must be at least 1, got {inject_window}")
+    return topo.num_nodes
+
+
+def uniform_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+) -> Traffic:
+    """Uniform random traffic: ``num_packets`` triples ``(cycle, src, dst)``
+    with distinct ``src != dst`` drawn uniformly, injection cycles uniform
+    over ``[0, inject_window)``.  Deterministic given ``seed``."""
+    n = _check_args(topo, num_packets, inject_window)
+    rng = random.Random(seed)
+    out = []
+    for _ in range(num_packets):
+        s = rng.randrange(n)
+        t = rng.randrange(n - 1)
+        if t >= s:
+            t += 1
+        out.append((rng.randrange(inject_window), s, t))
+    out.sort()
+    return out
+
+
+def permutation_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+) -> Traffic:
+    """Random-permutation traffic: one fixed-point-free permutation per run.
+
+    The permutation is a uniformly random ``n``-cycle (successor map of a
+    shuffled node order), so every node sends to exactly one partner and
+    no node sends to itself -- the classic "permutation routing" workload.
+    """
+    n = _check_args(topo, num_packets, inject_window)
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    partner = [0] * n
+    for i, v in enumerate(order):
+        partner[v] = order[(i + 1) % n]
+    out = []
+    for _ in range(num_packets):
+        s = rng.randrange(n)
+        out.append((rng.randrange(inject_window), s, partner[s]))
+    out.sort()
+    return out
+
+
+def _word_mapped(topo: Topology, src: int, mapper: Callable[[str], str]) -> Optional[int]:
+    """Apply ``mapper`` to the word address of ``src``; ``None`` when the
+    topology is not word-addressed or the image is not a vertex."""
+    if topo.word_length is None:
+        return None
+    image = mapper(topo.node_word(src))
+    g = topo.graph
+    if not g.has_label(image):
+        return None
+    return g.index_of(image)
+
+
+def _index_bits(n: int) -> int:
+    return max(1, (n - 1).bit_length())
+
+
+def _avoid_self(src: int, dst: int, n: int) -> int:
+    return (src + 1) % n if dst == src else dst
+
+
+def _structured_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int,
+    word_map: Optional[Callable[[str], str]],
+    index_map: Callable[[int, int], int],
+) -> Traffic:
+    """Shared engine of the deterministic src->dst patterns: use the word
+    mapping when given and it lands on a vertex, else the index mapping
+    mod ``n``."""
+    n = _check_args(topo, num_packets, inject_window)
+    rng = random.Random(seed)
+    b = _index_bits(n)
+    dst_of: List[int] = []
+    for s in range(n):
+        t = _word_mapped(topo, s, word_map) if word_map is not None else None
+        if t is None:
+            t = index_map(s, b) % n
+        dst_of.append(_avoid_self(s, t, n))
+    out = []
+    for _ in range(num_packets):
+        s = rng.randrange(n)
+        out.append((rng.randrange(inject_window), s, dst_of[s]))
+    out.sort()
+    return out
+
+
+def transpose_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+) -> Traffic:
+    """Matrix-transpose traffic: destination address swaps the two halves
+    of the source address (words when possible, index bits otherwise)."""
+
+    def word_map(w: str) -> str:
+        half = len(w) // 2
+        return w[half:] + w[:half]
+
+    def index_map(s: int, b: int) -> int:
+        half = b // 2
+        hi, lo = s >> half, s & ((1 << half) - 1)
+        return (lo << (b - half)) | hi
+
+    return _structured_traffic(
+        topo, num_packets, inject_window, seed, word_map, index_map
+    )
+
+
+def bit_reversal_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+) -> Traffic:
+    """Bit-reversal traffic: destination address is the reversed source
+    address -- the FFT communication pattern."""
+
+    def index_map(s: int, b: int) -> int:
+        out = 0
+        for _ in range(b):
+            out = (out << 1) | (s & 1)
+            s >>= 1
+        return out
+
+    return _structured_traffic(
+        topo, num_packets, inject_window, seed, lambda w: w[::-1], index_map
+    )
+
+
+def tornado_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+) -> Traffic:
+    """Tornado traffic: node ``i`` sends to ``(i + n // 2) mod n``, the
+    classic half-way-around adversary for minimal routing."""
+    n = topo.num_nodes
+    stride = max(1, n // 2)
+    # tornado is defined on node positions, not addresses: no word mapping
+    return _structured_traffic(
+        topo, num_packets, inject_window, seed, None, lambda s, b: (s + stride) % n
+    )
+
+
+def hotspot_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+    hotspot: int = 0,
+    fraction: float = 0.5,
+) -> Traffic:
+    """Hotspot traffic: each packet targets ``hotspot`` with probability
+    ``fraction``, and a uniform random destination otherwise."""
+    n = _check_args(topo, num_packets, inject_window)
+    if not 0 <= hotspot < n:
+        raise ValueError(f"hotspot node {hotspot} out of range for {n} nodes")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"hotspot fraction must be in [0, 1], got {fraction}")
+    rng = random.Random(seed)
+    out = []
+    for _ in range(num_packets):
+        if rng.random() < fraction:
+            t = hotspot
+            s = rng.randrange(n - 1)
+            if s >= t:
+                s += 1
+        else:
+            s = rng.randrange(n)
+            t = rng.randrange(n - 1)
+            if t >= s:
+                t += 1
+        out.append((rng.randrange(inject_window), s, t))
+    out.sort()
+    return out
+
+
+def bursty_traffic(
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+    mean_burst: int = 8,
+) -> Traffic:
+    """Bursty on/off sources: packets arrive in geometric bursts of mean
+    length ``mean_burst``, one packet per cycle, all of a burst sharing one
+    ``(src, dst)`` pair -- the self-similar-ish load that stresses FIFO
+    depth far more than the same volume spread uniformly."""
+    n = _check_args(topo, num_packets, inject_window)
+    if mean_burst < 1:
+        raise ValueError(f"mean_burst must be at least 1, got {mean_burst}")
+    rng = random.Random(seed)
+    out: Traffic = []
+    while len(out) < num_packets:
+        s = rng.randrange(n)
+        t = rng.randrange(n - 1)
+        if t >= s:
+            t += 1
+        start = rng.randrange(inject_window)
+        length = 1
+        while rng.random() >= 1.0 / mean_burst:  # geometric, mean = mean_burst
+            length += 1
+        length = min(length, num_packets - len(out))
+        for k in range(length):
+            out.append((start + k, s, t))
+    out.sort()
+    return out
+
+
+PATTERNS: Dict[str, Callable[..., Traffic]] = {
+    "uniform": uniform_traffic,
+    "permutation": permutation_traffic,
+    "transpose": transpose_traffic,
+    "bitrev": bit_reversal_traffic,
+    "tornado": tornado_traffic,
+    "hotspot": hotspot_traffic,
+    "bursty": bursty_traffic,
+}
+
+
+def make_traffic(
+    pattern: str,
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+    **kwargs,
+) -> Traffic:
+    """Generate traffic by registry name (see :data:`PATTERNS`)."""
+    try:
+        fn = PATTERNS[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic pattern {pattern!r}; "
+            f"choose from {sorted(PATTERNS)}"
+        ) from None
+    return fn(topo, num_packets, inject_window, seed=seed, **kwargs)

@@ -8,7 +8,6 @@ from repro.cubes.hypercube import hypercube
 from repro.dimension.lattice import (
     _max_matching,
     lattice_dimension,
-    semicube_graph,
     semicubes,
 )
 from repro.graphs.core import Graph

@@ -1,6 +1,5 @@
 """Unit tests for the Graph type."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.core import Graph

@@ -7,7 +7,7 @@ from repro.graphs.core import Graph
 from repro.graphs.isomorphism import are_isomorphic, find_isomorphism, refine_colors
 from repro.graphs.nxadapter import from_networkx, to_networkx
 
-from tests.conftest import complete_graph, cycle_graph, path_graph, star_graph
+from tests.conftest import cycle_graph, path_graph, star_graph
 
 
 class TestIsomorphism:

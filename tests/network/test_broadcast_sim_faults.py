@@ -11,7 +11,6 @@ from repro.network.broadcast import (
 )
 from repro.network.faults import fault_tolerance_trial
 from repro.network.hamilton import find_hamiltonian_cycle, find_hamiltonian_path
-from repro.network.routing import BfsRouter
 from repro.network.simulator import NetworkSimulator, uniform_traffic
 from repro.network.topology import topology_of
 

@@ -1,0 +1,152 @@
+"""The sweep harness and the ``repro sweep`` CLI subcommand."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.network.sweep import (
+    PointSpec,
+    SweepRecord,
+    parse_topology,
+    run_point,
+    run_sweep,
+    saturation_curves,
+    write_csv,
+    write_json,
+)
+
+
+class TestParseTopology:
+    def test_hypercube_specs(self):
+        assert parse_topology("Q:4").num_nodes == 16
+        assert parse_topology("hypercube:3").num_nodes == 8
+
+    def test_factor_spec(self):
+        topo = parse_topology("11:6")
+        assert topo.name == "Q_6(11)"
+        assert topo.num_nodes == 21  # F(8)
+
+    def test_bad_specs(self):
+        for spec in ("Q", "Q:x", "xyz:4", ":4"):
+            with pytest.raises(ValueError):
+                parse_topology(spec)
+
+    def test_cached(self):
+        assert parse_topology("Q:4") is parse_topology("Q:4")
+
+
+class TestRunPoint:
+    def test_single_point(self):
+        rec = run_point(PointSpec(topology="11:5", load=0.3, inject_window=16))
+        assert isinstance(rec, SweepRecord)
+        assert rec.topology == "Q_5(11)"
+        assert rec.injected == round(0.3 * rec.nodes * 16)
+        assert rec.delivered == rec.injected
+        assert rec.avg_latency >= 1.0
+        assert 0 < rec.p95_latency <= rec.max_latency
+
+    def test_unknown_router(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            run_point(PointSpec(topology="Q:3", router="teleport"))
+
+    def test_bad_load(self):
+        with pytest.raises(ValueError, match="load"):
+            run_point(PointSpec(topology="Q:3", load=0.0))
+
+
+class TestRunSweep:
+    def test_grid_shape(self):
+        records = run_sweep(
+            ["Q:4", "11:4"],
+            patterns=("uniform", "tornado"),
+            loads=(0.2, 0.5),
+            inject_window=8,
+        )
+        assert len(records) == 2 * 2 * 2
+        curves = saturation_curves(records)
+        assert len(curves) == 4
+        for curve in curves.values():
+            assert [r.load for r in curve] == [0.2, 0.5]
+
+    def test_latency_grows_with_load(self):
+        records = run_sweep(
+            ["11:7"], patterns=("hotspot",), loads=(0.05, 0.9), inject_window=32
+        )
+        low, high = records
+        assert high.avg_latency > low.avg_latency
+        assert high.max_queue >= low.max_queue
+
+    def test_multiprocessing_matches_serial(self):
+        kwargs = dict(
+            topologies=["Q:4", "11:5"],
+            patterns=("uniform", "bursty"),
+            loads=(0.3,),
+            inject_window=8,
+        )
+        assert run_sweep(**kwargs) == run_sweep(processes=2, **kwargs)
+
+    def test_eager_validation(self):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            run_sweep(["Q:3"], patterns=("nope",))
+        with pytest.raises(ValueError, match="unknown router"):
+            run_sweep(["Q:3"], routers=("nope",))
+
+
+class TestWriters:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return run_sweep(["Q:3"], loads=(0.2, 0.4), inject_window=8)
+
+    def test_csv_roundtrip(self, records, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(records, str(path))
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(records)
+        assert rows[0]["topology"] == "Q_3"
+        assert float(rows[0]["load"]) == 0.2
+
+    def test_json_roundtrip(self, records, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(records, str(path))
+        data = json.loads(path.read_text())
+        assert len(data) == len(records)
+        assert data[0]["nodes"] == 8
+
+
+class TestSweepCli:
+    def test_fibonacci_vs_hypercube_four_patterns(self, tmp_path, capsys):
+        """The acceptance scenario: Fibonacci cube vs hypercube saturation
+        curves under four traffic patterns, dumped to CSV."""
+        csv_path = tmp_path / "curves.csv"
+        rc = main([
+            "sweep",
+            "--topo", "Q:5",
+            "--topo", "11:5",
+            "--patterns", "uniform,transpose,tornado,hotspot",
+            "--loads", "0.1,0.4",
+            "--window", "16",
+            "--csv", str(csv_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Q_5 / bfs / uniform" in out
+        assert "Q_5(11) / bfs / tornado" in out
+        with open(csv_path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2 * 4 * 2
+        assert {r["topology"] for r in rows} == {"Q_5", "Q_5(11)"}
+        assert {r["pattern"] for r in rows} == {
+            "uniform", "transpose", "tornado", "hotspot"
+        }
+
+    def test_json_output(self, tmp_path, capsys):
+        json_path = tmp_path / "r.json"
+        rc = main([
+            "sweep", "--topo", "Q:4", "--patterns", "uniform",
+            "--loads", "0.3", "--window", "8", "--json", str(json_path),
+        ])
+        assert rc == 0
+        assert len(json.loads(json_path.read_text())) == 1

@@ -1,0 +1,157 @@
+"""The traffic-pattern library: shape, determinism, topology-awareness."""
+
+import pytest
+
+from repro.cubes.hypercube import hypercube
+from repro.network.topology import topology_of
+from repro.network.traffic import (
+    PATTERNS,
+    bit_reversal_traffic,
+    bursty_traffic,
+    hotspot_traffic,
+    make_traffic,
+    permutation_traffic,
+    tornado_traffic,
+    transpose_traffic,
+    uniform_traffic,
+)
+from tests.conftest import path_graph
+
+
+@pytest.fixture(scope="module")
+def gamma6():
+    return topology_of(("11", 6))
+
+
+@pytest.fixture(scope="module")
+def q4():
+    return topology_of(hypercube(4), name="Q4")
+
+
+class TestEveryPattern:
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_wellformed(self, gamma6, pattern):
+        out = make_traffic(pattern, gamma6, 80, 10, seed=1)
+        assert len(out) == 80
+        n = gamma6.num_nodes
+        for cycle, src, dst in out:
+            assert cycle >= 0
+            assert 0 <= src < n and 0 <= dst < n
+            assert src != dst
+        assert out == sorted(out, key=lambda t: t[0])
+
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_deterministic_and_seed_sensitive(self, gamma6, pattern):
+        a = make_traffic(pattern, gamma6, 60, 30, seed=4)
+        b = make_traffic(pattern, gamma6, 60, 30, seed=4)
+        assert a == b
+        # different seed must change *something* (cycles at minimum)
+        c = make_traffic(pattern, gamma6, 60, 30, seed=5)
+        assert a != c
+
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_inject_window_zero_raises(self, gamma6, pattern):
+        with pytest.raises(ValueError):
+            make_traffic(pattern, gamma6, 10, 0)
+
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_single_node_raises(self, pattern):
+        g = path_graph(1)
+        g.set_labels(["x"])
+        topo = topology_of(g, name="dot")
+        with pytest.raises(ValueError):
+            make_traffic(pattern, topo, 5, 5)
+
+    def test_unknown_pattern_raises(self, gamma6):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            make_traffic("nope", gamma6, 5, 5)
+
+
+class TestUniform:
+    def test_negative_window_raises(self, gamma6):
+        with pytest.raises(ValueError):
+            uniform_traffic(gamma6, 5, -3)
+
+    def test_negative_packets_raises(self, gamma6):
+        with pytest.raises(ValueError):
+            uniform_traffic(gamma6, -1, 5)
+
+    def test_cycles_inside_window(self, gamma6):
+        out = uniform_traffic(gamma6, 200, 7, seed=2)
+        assert all(0 <= c < 7 for c, _, _ in out)
+
+
+class TestStructuredPatterns:
+    def test_transpose_on_hypercube_swaps_halves(self, q4):
+        out = transpose_traffic(q4, 50, 1, seed=0)
+        for _, s, t in out:
+            w = format(s, "04b")
+            expected = w[2:] + w[:2]
+            if expected != w:  # fixed points are remapped to avoid self
+                assert format(t, "04b") == expected
+
+    def test_bit_reversal_on_hypercube(self, q4):
+        out = bit_reversal_traffic(q4, 50, 1, seed=0)
+        for _, s, t in out:
+            w = format(s, "04b")
+            if w[::-1] != w:
+                assert format(t, "04b") == w[::-1]
+
+    def test_structured_destination_is_function_of_source(self, gamma6):
+        for fn in (transpose_traffic, bit_reversal_traffic, tornado_traffic):
+            out = fn(gamma6, 120, 5, seed=3)
+            dst_of = {}
+            for _, s, t in out:
+                assert dst_of.setdefault(s, t) == t, fn.__name__
+
+    def test_tornado_stride(self, gamma6):
+        n = gamma6.num_nodes
+        out = tornado_traffic(gamma6, 60, 4, seed=0)
+        for _, s, t in out:
+            assert t == (s + n // 2) % n
+
+    def test_permutation_is_fixed_point_free_bijection(self, gamma6):
+        out = permutation_traffic(gamma6, 300, 3, seed=8)
+        dst_of = {}
+        for _, s, t in out:
+            assert dst_of.setdefault(s, t) == t
+        assert len(set(dst_of.values())) == len(dst_of)
+
+
+class TestHotspot:
+    def test_fraction_one_targets_hotspot_only(self, gamma6):
+        out = hotspot_traffic(gamma6, 50, 5, seed=1, hotspot=3, fraction=1.0)
+        assert all(t == 3 for _, _, t in out)
+
+    def test_fraction_skews_towards_hotspot(self, gamma6):
+        out = hotspot_traffic(gamma6, 400, 5, seed=1, hotspot=0, fraction=0.8)
+        hits = sum(1 for _, _, t in out if t == 0)
+        assert hits > 200
+
+    def test_bad_args_raise(self, gamma6):
+        with pytest.raises(ValueError):
+            hotspot_traffic(gamma6, 5, 5, hotspot=gamma6.num_nodes)
+        with pytest.raises(ValueError):
+            hotspot_traffic(gamma6, 5, 5, fraction=1.5)
+
+
+class TestBursty:
+    def test_bursts_share_pair_on_consecutive_cycles(self, gamma6):
+        out = bursty_traffic(gamma6, 200, 20, seed=6, mean_burst=10)
+        assert len(out) == 200
+        # group by (src, dst): cycles within a burst are consecutive runs
+        by_pair = {}
+        for c, s, t in out:
+            by_pair.setdefault((s, t), []).append(c)
+        assert any(len(v) > 1 for v in by_pair.values())
+
+    def test_bad_mean_burst_raises(self, gamma6):
+        with pytest.raises(ValueError):
+            bursty_traffic(gamma6, 5, 5, mean_burst=0)
+
+
+def test_simulator_reexports_uniform_traffic():
+    """Backwards compatibility: the old import path keeps working."""
+    from repro.network.simulator import uniform_traffic as reexported
+
+    assert reexported is uniform_traffic

@@ -1,0 +1,132 @@
+"""Vectorized engine vs the reference engine: identical SimResults.
+
+The vectorized simulator is only allowed to be *faster*, never
+*different*: over seeded traffic from every pattern, on the Fibonacci
+cube, the hypercube and a faulted topology, both engines must produce
+the same ``SimResult`` field for field -- latencies (per packet, in
+injection order), cycle count, throughput and max queue depth.
+"""
+
+import pytest
+
+from repro.cubes.hypercube import hypercube
+from repro.network.routing import BfsRouter, CanonicalRouter, GreedyRouter, RouteTable
+from repro.network.simulator import (
+    NetworkSimulator,
+    ReferenceSimulator,
+    VectorizedSimulator,
+)
+from repro.network.topology import faulted_topology, topology_of
+from repro.network.traffic import PATTERNS, make_traffic
+
+
+def _topologies():
+    return {
+        "fibonacci": topology_of(("11", 6)),
+        "hypercube": topology_of(hypercube(4), name="Q4"),
+        "faulted": faulted_topology(topology_of(("11", 7)), 3, seed=5),
+    }
+
+
+TOPOLOGIES = _topologies()
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("pattern", sorted(PATTERNS))
+def test_engines_agree_on_every_pattern(topo_name, pattern):
+    topo = TOPOLOGIES[topo_name]
+    for seed, window in ((0, 1), (7, 25)):
+        traffic = make_traffic(pattern, topo, 150, window, seed=seed)
+        ref = ReferenceSimulator(topo).run(traffic)
+        vec = VectorizedSimulator(topo).run(traffic)
+        assert ref == vec, (topo_name, pattern, seed, window)
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+def test_engines_agree_under_cycle_cap(topo_name):
+    """Truncated runs (saturated network, hard cap) must also agree."""
+    topo = TOPOLOGIES[topo_name]
+    traffic = make_traffic("hotspot", topo, 200, 1, seed=3)
+    for cap in (1, 5, 23):
+        ref = ReferenceSimulator(topo).run(traffic, max_cycles=cap)
+        vec = VectorizedSimulator(topo).run(traffic, max_cycles=cap)
+        assert ref == vec, cap
+        assert ref.cycles <= cap
+
+
+def test_engines_agree_with_droppy_router():
+    """GreedyRouter fails some pairs on Q_d(101): drops must match too."""
+    topo = topology_of(("101", 4))
+    traffic = make_traffic("uniform", topo, 120, 10, seed=2)
+    ref = ReferenceSimulator(topo, GreedyRouter()).run(traffic)
+    vec = VectorizedSimulator(topo, GreedyRouter()).run(traffic)
+    assert ref == vec
+    assert ref.delivery_rate < 1.0
+
+
+def test_engines_agree_with_canonical_router():
+    topo = TOPOLOGIES["fibonacci"]
+    traffic = make_traffic("transpose", topo, 150, 12, seed=11)
+    ref = ReferenceSimulator(topo, CanonicalRouter()).run(traffic)
+    vec = VectorizedSimulator(topo, CanonicalRouter()).run(traffic)
+    assert ref == vec
+
+
+def test_engines_agree_on_shared_route_table():
+    """Passing one prebuilt table to both engines changes nothing."""
+    topo = TOPOLOGIES["hypercube"]
+    traffic = make_traffic("uniform", topo, 200, 15, seed=9)
+    table = BfsRouter().build_table(topo, [(s, d) for _, s, d in traffic])
+    ref = ReferenceSimulator(topo).run(traffic, route_table=table)
+    vec = VectorizedSimulator(topo).run(traffic, route_table=table)
+    bare = VectorizedSimulator(topo).run(traffic)
+    assert ref == vec == bare
+
+
+def test_batched_table_matches_per_pair_routes():
+    """BfsRouter.build_table must return exactly route()'s paths."""
+    topo = TOPOLOGIES["faulted"]
+    router = BfsRouter()
+    pairs = [(s, d) for s in range(topo.num_nodes) for d in range(topo.num_nodes)]
+    table = router.build_table(topo, pairs)
+    for pair in pairs:
+        row = table.pair_row[pair]
+        expected = router.route(topo, *pair)
+        if expected is None:
+            assert row == -1
+        else:
+            assert table.route_nodes(row).tolist() == expected, pair
+
+
+def test_generic_build_matches_batched_build():
+    topo = TOPOLOGIES["fibonacci"]
+    pairs = [(s, (s + 3) % topo.num_nodes) for s in range(topo.num_nodes)]
+    generic = RouteTable.build(topo, BfsRouter(), pairs)
+    batched = BfsRouter().build_table(topo, pairs)
+    for pair in pairs:
+        g, b = generic.pair_row[pair], batched.pair_row[pair]
+        assert (g < 0) == (b < 0)
+        if g >= 0:
+            assert generic.route_nodes(g).tolist() == batched.route_nodes(b).tolist()
+
+
+def test_default_simulator_is_vectorized():
+    assert issubclass(NetworkSimulator, VectorizedSimulator)
+
+
+def test_empty_traffic():
+    topo = TOPOLOGIES["hypercube"]
+    ref = ReferenceSimulator(topo).run([])
+    vec = VectorizedSimulator(topo).run([])
+    assert ref == vec
+    assert ref.cycles == 1 and ref.injected == 0 and ref.latencies == ()
+
+
+def test_unsorted_traffic_is_stable_sorted():
+    """Triples may arrive in any order; engines sort by cycle, stably."""
+    topo = TOPOLOGIES["fibonacci"]
+    traffic = [(5, 0, 3), (0, 1, 4), (5, 2, 6), (2, 3, 1)]
+    ref = ReferenceSimulator(topo).run(traffic)
+    vec = VectorizedSimulator(topo).run(traffic)
+    assert ref == vec
+    assert ref.delivered == 4

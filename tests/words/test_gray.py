@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cubes.generalized import generalized_fibonacci_cube
-from repro.words.core import hamming
+
 from repro.words.gray import (
     gray_code,
     gray_rank,

@@ -1,6 +1,5 @@
 """Multi-factor Aho--Corasick automaton."""
 
-import itertools
 
 import pytest
 

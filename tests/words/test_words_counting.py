@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.combinat.sequences import fibonacci, kbonacci
+from repro.combinat.sequences import fibonacci
 from repro.words.counting import (
     count_edges_automaton,
     count_squares_automaton,
