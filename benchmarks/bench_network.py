@@ -10,12 +10,14 @@ import time
 
 import pytest
 
+from collections import Counter
+
 from repro.cubes.generalized import generalized_fibonacci_cube
 from repro.cubes.hypercube import hypercube
 from repro.network.broadcast import broadcast_rounds
-from repro.network.faults import fault_tolerance_trial
+from repro.network.faults import FaultPlan, fault_tolerance_trial
 from repro.network.hamilton import find_hamiltonian_path
-from repro.network.routing import BfsRouter, CanonicalRouter, route_stats
+from repro.network.routing import AdaptiveRouter, BfsRouter, CanonicalRouter, route_stats
 from repro.network.simulator import (
     NetworkSimulator,
     ReferenceSimulator,
@@ -111,6 +113,41 @@ def test_bench_n1_fault_tolerance(benchmark):
         "3 random node faults",
         ["topology", "still connected", "largest comp.", "diameter after"],
         rows,
+    )
+
+
+def test_bench_n1_adaptive_vs_oblivious_under_faults(benchmark):
+    """The dynamic fault story: kill the links the canonical rule leans on
+    hardest; the fault-oblivious canonical router pays in dropped packets
+    while the adaptive detour rule routes around the damage."""
+    topo = topology_of(("11", 7))
+    traffic = uniform_traffic(topo, 2000, 64, seed=7)
+    used = Counter()
+    canonical = CanonicalRouter()
+    for _, s, t in traffic:
+        path = canonical.route(topo, s, t)
+        for a, b in zip(path, path[1:]):
+            used[(min(a, b), max(a, b))] += 1
+    hot_links = [link for link, _ in used.most_common(4)]
+    plan = FaultPlan.static(links=hot_links)
+
+    sim_canonical = NetworkSimulator(topo, canonical)
+    sim_adaptive = NetworkSimulator(topo, AdaptiveRouter())
+    res_canonical = sim_canonical.run(traffic, faults=plan)
+    res_adaptive = benchmark(lambda: sim_adaptive.run(traffic, faults=plan))
+
+    assert res_canonical.dropped > 0
+    assert res_adaptive.delivered > res_canonical.delivered
+    assert res_adaptive.misroutes > 0
+    print_table(
+        "4 hottest canonical links killed at cycle 0 (Gamma_7, 2k packets)",
+        ["router", "delivered", "dropped", "misroutes", "avg latency"],
+        [
+            ("canonical", res_canonical.delivered, res_canonical.dropped,
+             res_canonical.misroutes, f"{res_canonical.avg_latency:.2f}"),
+            ("adaptive", res_adaptive.delivered, res_adaptive.dropped,
+             res_adaptive.misroutes, f"{res_adaptive.avg_latency:.2f}"),
+        ],
     )
 
 

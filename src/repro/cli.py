@@ -16,8 +16,9 @@ Subcommands
 ``gfc ladder D``
     Verify the Section 8 :math:`\\Theta^*`-ladder of :math:`Q_D(101)`.
 ``gfc sweep``
-    Saturation-curve sweeps over (topology x router x pattern x load)
-    grids on the vectorized network simulator, with CSV/JSON output.
+    Saturation-curve sweeps over (topology x router x pattern x faults
+    x load) grids on the vectorized network simulator, with CSV/JSON
+    output; ``--faults`` adds fault-plan axes for degradation curves.
 
 Installed both as ``gfc`` and as ``repro``.
 """
@@ -105,11 +106,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_swp.add_argument(
         "--routers", default="bfs",
-        help="comma-separated routers: bfs, canonical, ecube, greedy "
-             "(default: %(default)s)",
+        help="comma-separated routers: bfs, canonical, adaptive, ecube, "
+             "greedy (default: %(default)s)",
     )
     p_swp.add_argument(
         "--seeds", default="0", help="comma-separated RNG seeds (default: 0)"
+    )
+    p_swp.add_argument(
+        "--faults", action="append", dest="faults", metavar="PLAN",
+        help="fault-plan spec, e.g. 'n3,n5@10,l0-2@5' or 'rand4@20s7'; "
+             "repeatable to sweep a fault axis ('' = unfaulted baseline, "
+             "always included unless given explicitly)",
     )
     p_swp.add_argument(
         "--window", type=int, default=64,
@@ -172,6 +179,7 @@ def _cmd_sweep(args) -> int:
             loads=[float(x) for x in args.loads.split(",") if x],
             routers=[r for r in args.routers.split(",") if r],
             seeds=[int(s) for s in args.seeds.split(",") if s],
+            faults=args.faults if args.faults else ("",),
             inject_window=args.window,
             max_cycles=args.max_cycles,
             processes=args.processes,
@@ -181,16 +189,20 @@ def _cmd_sweep(args) -> int:
         return 2
     header = (
         f"{'topology':>12} {'router':>9} {'pattern':>12} {'load':>6} "
-        f"{'avg lat':>8} {'p95':>7} {'thruput':>8} {'deliv':>6} {'maxq':>5}"
+        f"{'avg lat':>8} {'p95':>7} {'thruput':>8} {'deliv':>6} "
+        f"{'drop':>6} {'maxq':>5}"
     )
-    for (topo, router, pattern), curve in sorted(saturation_curves(records).items()):
-        print(f"-- {topo} / {router} / {pattern}")
+    for (topo, router, pattern, faults), curve in sorted(
+        saturation_curves(records).items()
+    ):
+        tag = f" / faults[{faults}]" if faults else ""
+        print(f"-- {topo} / {router} / {pattern}{tag}")
         print(header)
         for r in curve:
             print(
                 f"{r.topology:>12} {r.router:>9} {r.pattern:>12} {r.load:>6.2f} "
                 f"{r.avg_latency:>8.2f} {r.p95_latency:>7.1f} {r.throughput:>8.3f} "
-                f"{r.delivery_rate:>6.3f} {r.max_queue:>5}"
+                f"{r.delivery_rate:>6.3f} {r.dropped:>6.1f} {r.max_queue:>5}"
             )
     if args.csv:
         write_csv(records, args.csv)

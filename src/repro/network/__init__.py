@@ -22,14 +22,18 @@ generalized Fibonacci cube:
   library (uniform, permutation, transpose, bit-reversal, tornado,
   hotspot, bursty);
 - :mod:`repro.network.sweep` -- multiprocessing sweep harness producing
-  saturation curves over (topology x router x pattern x load) grids;
-- :mod:`repro.network.faults` -- fault injection and rerouting studies;
+  saturation curves over (topology x router x pattern x faults x load)
+  grids;
+- :mod:`repro.network.faults` -- fault model: static surgery reports and
+  dynamic :class:`FaultPlan` schedules the simulator engines replay
+  (masked routing epochs, in-flight drops, adaptive detours);
 - :mod:`repro.network.hamilton` -- Hamiltonian path/cycle search
   ("generalized Fibonacci cubes are mostly Hamiltonian", Liu--Hsu--Chung).
 """
 
 from repro.network.topology import Topology, faulted_topology, topology_of
 from repro.network.routing import (
+    AdaptiveRouter,
     BfsRouter,
     CanonicalRouter,
     DimensionOrderRouter,
@@ -61,9 +65,11 @@ from repro.network.traffic import (
     transpose_traffic,
 )
 from repro.network.sweep import (
+    CurvePoint,
     PointSpec,
     ROUTERS,
     SweepRecord,
+    nearest_rank_p95,
     parse_topology,
     run_point,
     run_sweep,
@@ -71,7 +77,7 @@ from repro.network.sweep import (
     write_csv,
     write_json,
 )
-from repro.network.faults import FaultReport, fault_tolerance_trial
+from repro.network.faults import FaultPlan, FaultReport, fault_tolerance_trial
 from repro.network.hamilton import find_hamiltonian_cycle, find_hamiltonian_path
 from repro.network.deadlock import (
     channel_dependency_graph,
@@ -88,6 +94,7 @@ __all__ = [
     "Topology",
     "topology_of",
     "faulted_topology",
+    "AdaptiveRouter",
     "BfsRouter",
     "CanonicalRouter",
     "DimensionOrderRouter",
@@ -105,9 +112,11 @@ __all__ = [
     "permutation_traffic",
     "tornado_traffic",
     "transpose_traffic",
+    "CurvePoint",
     "PointSpec",
     "ROUTERS",
     "SweepRecord",
+    "nearest_rank_p95",
     "parse_topology",
     "run_point",
     "run_sweep",
@@ -120,6 +129,7 @@ __all__ = [
     "NetworkSimulator",
     "SimResult",
     "uniform_traffic",
+    "FaultPlan",
     "FaultReport",
     "fault_tolerance_trial",
     "find_hamiltonian_cycle",

@@ -13,7 +13,11 @@ as a list of node indices):
 - :class:`GreedyRouter` -- a purely local rule: from the current node,
   move to any neighbour strictly closer in Hamming distance to the
   destination; fail when stuck (used to demonstrate *why* isometry
-  matters for local routing).
+  matters for local routing);
+- :class:`AdaptiveRouter` -- the fault-aware extension of the canonical
+  rule: prefer a canonical move over a *live* link, and when faults (or
+  non-isometry) block every closer step, misroute to any live neighbour
+  under a bounded misroute budget -- still table-free and local.
 
 :func:`route_stats` sweeps node pairs and reports reachability, stretch
 (path length / graph distance) and hop histograms.
@@ -31,6 +35,7 @@ from repro.network.topology import Topology
 from repro.words.core import flip, hamming
 
 __all__ = [
+    "AdaptiveRouter",
     "BfsRouter",
     "CanonicalRouter",
     "DimensionOrderRouter",
@@ -154,6 +159,78 @@ class CanonicalRouter:
                 cand = flip(cur, i)
                 if g.has_label(cand):
                     return cand
+        return None
+
+
+class AdaptiveRouter(CanonicalRouter):
+    """Fault-aware canonical routing with a bounded misroute budget.
+
+    The local detour rule of the Hsu--Liu fault-tolerance line: at each
+    node, take the first canonical move (1->0 mismatch flips left to
+    right, then 0->1) whose link is *live* -- on a masked fault view
+    (:meth:`Topology.with_faults`) dead links are missing edges and
+    failed nodes have hidden addresses, so this test is purely local.
+    When no closer live neighbour exists, *misroute*: flip the leftmost
+    matching bit that lands on a live neighbour, spending one unit of a
+    ``max_misroutes`` budget (each misroute costs two extra hops).  The
+    immediately previous node is never revisited, so a misroute is never
+    undone one step later.  On an unfaulted ``Q_d(1^s)`` no misroute is
+    ever needed (Proposition 3.1) and the routes coincide with
+    :class:`CanonicalRouter`'s.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, max_misroutes: int = 4):
+        if max_misroutes < 0:
+            raise ValueError(f"max_misroutes must be >= 0, got {max_misroutes}")
+        self.max_misroutes = max_misroutes
+
+    def route(self, topo: Topology, src: int, dst: int) -> Optional[List[int]]:
+        g = topo.graph
+        if topo.word_length is None:
+            raise ValueError("adaptive routing needs word-addressed nodes")
+        cur_word = topo.node_word(src)
+        dst_word = topo.node_word(dst)
+        budget = self.max_misroutes
+        # each misroute flips one matching bit and must be re-fixed later
+        limit = hamming(cur_word, dst_word) + 2 * self.max_misroutes
+        path = [src]
+        prev = -1
+        while cur_word != dst_word:
+            if len(path) - 1 >= limit:
+                return None
+            step = self._adaptive_step(g, path[-1], cur_word, dst_word, prev, budget > 0)
+            if step is None:
+                return None
+            nxt, nxt_word, misrouted = step
+            if misrouted:
+                budget -= 1
+            prev = path[-1]
+            cur_word = nxt_word
+            path.append(nxt)
+        return path
+
+    @staticmethod
+    def _adaptive_step(
+        g, cur: int, cur_word: str, dst_word: str, prev: int, may_misroute: bool
+    ) -> Optional[Tuple[int, str, bool]]:
+        for bits in (("1", "0"), ("0", "1")):
+            for i in range(len(cur_word)):
+                if cur_word[i] == bits[0] and dst_word[i] == bits[1]:
+                    cand = flip(cur_word, i)
+                    if g.has_label(cand):
+                        j = g.index_of(cand)
+                        if j != prev and g.has_edge(cur, j):
+                            return (j, cand, False)
+        if may_misroute:
+            for i in range(len(cur_word)):
+                if cur_word[i] == dst_word[i]:
+                    cand = flip(cur_word, i)
+                    if g.has_label(cand):
+                        j = g.index_of(cand)
+                        if j != prev and g.has_edge(cur, j):
+                            return (j, cand, True)
         return None
 
 

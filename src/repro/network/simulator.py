@@ -27,6 +27,19 @@ Two engines implement the *same* deterministic semantics:
   outright.  Both engines produce bit-identical :class:`SimResult`
   values, which the equivalence tests enforce.
 
+Faults
+------
+Both engines accept a :class:`~repro.network.faults.FaultPlan`.  Fault
+cycles split time into *routing epochs*: packets injected in an epoch
+are routed on the topology masked by every fault already active
+(:meth:`Topology.with_faults`), one route-table rebuild per epoch.  The
+plan also resolves to per-directed-link death cycles; during the forward
+step, a link that is dead drops its *entire* queue that cycle (packets
+in flight when a fault strikes are lost, not rerouted -- rerouting is
+the router's job at the next epoch).  Drop and misroute totals land in
+:class:`SimResult` and are bit-identical across engines, same as every
+other field.
+
 Determinism contract (both engines): packets are numbered in injection
 order (stable sort of the traffic by cycle); a link's FIFO serves packets
 in arrival order, ties broken by packet id; packets that arrive at a
@@ -36,10 +49,11 @@ queued that cycle.
 ``NetworkSimulator`` is the vectorized engine (kept as the public name
 for backward compatibility).
 
-Outputs: per-packet latency, average/percentile latency, throughput
-(delivered packets per cycle), and maximum queue occupancy -- enough to
-compare topologies under identical load, which is what the 1993-lineage
-evaluations did on real machines.
+Outputs: per-packet latency and hop counts, average/percentile latency,
+throughput (delivered packets per cycle), drop and misroute counters,
+and maximum queue occupancy -- enough to compare topologies under
+identical load and damage, which is what the 1993-lineage evaluations
+did on real machines.
 """
 
 from __future__ import annotations
@@ -50,6 +64,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graphs.traversal import bfs_distances
+from repro.network.faults import _NEVER, FaultPlan
 from repro.network.routing import BfsRouter, RouteTable
 from repro.network.topology import Topology
 from repro.network.traffic import uniform_traffic
@@ -67,9 +83,16 @@ __all__ = [
 class SimResult:
     """Aggregate outcome of one simulation run.
 
-    ``latencies`` holds one entry per *delivered* packet, ordered by
-    packet id (= injection order), so results from different engines over
-    the same traffic compare exactly.
+    ``latencies`` and ``hops`` hold one entry per *delivered* packet,
+    ordered by packet id (= injection order), so results from different
+    engines over the same traffic compare exactly.  ``dropped`` counts
+    packets lost for any reason: unroutable at injection (router failure
+    or dead endpoint) plus packets killed in flight by a link/node fault.
+    ``misroutes`` totals the detour steps of delivered packets: hops
+    beyond the *healthy* topology's graph distance, halved (each detour
+    costs two extra hops) -- zero for shortest-path routing on an
+    undamaged network, positive when faults (or a suboptimal router)
+    force longer paths.
     """
 
     cycles: int
@@ -77,6 +100,9 @@ class SimResult:
     delivered: int
     latencies: Tuple[int, ...]
     max_queue: int
+    dropped: int = 0
+    misroutes: int = 0
+    hops: Tuple[int, ...] = ()
 
     @property
     def avg_latency(self) -> float:
@@ -94,23 +120,64 @@ class SimResult:
     def delivery_rate(self) -> float:
         return self.delivered / self.injected if self.injected else 1.0
 
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.injected if self.injected else 0.0
+
+    @property
+    def avg_hops(self) -> float:
+        return sum(self.hops) / len(self.hops) if self.hops else 0.0
+
+
+def _misroute_hops(
+    topo: Topology, dist_cache: Dict[int, np.ndarray], src: int, dst: int, hops: int
+) -> int:
+    """Detour steps of a route: hops beyond the *healthy* topology's
+    graph distance, halved (on bipartite cube graphs the excess is always
+    even; elsewhere the odd remainder is floored away).
+
+    Measuring against the undamaged topology -- not the Hamming distance
+    -- means shortest-path routing reports zero on every cube, including
+    the non-isometric ones where graph distance legitimately exceeds
+    Hamming distance; what remains is exactly the stretch the router (or
+    the fault damage) added.  One BFS per destination, cached per run.
+    """
+    dist = dist_cache.get(dst)
+    if dist is None:
+        dist = dist_cache[dst] = bfs_distances(topo.graph, dst)
+    d = int(dist[src])
+    if d < 0:
+        return 0
+    return max(0, (hops - d) // 2)
+
 
 class _Prepared:
     """Traffic resolved against a route table, in array form.
 
     Packets are stable-sorted by injection cycle and numbered 0..P-1 in
     that order; pairs the router cannot serve are dropped up front and
-    only counted in ``injected``.
+    only counted in ``injected``.  ``misroutes`` holds one detour count
+    per table row; ``link_dead`` maps directed links to the first cycle
+    they stop forwarding (empty without faults).
     """
 
-    __slots__ = ("table", "inject", "row", "num_dropped")
+    __slots__ = ("table", "inject", "row", "num_dropped", "misroutes", "link_dead")
 
     def __init__(self, table: RouteTable, inject: np.ndarray, row: np.ndarray,
-                 num_dropped: int):
+                 num_dropped: int, misroutes: np.ndarray,
+                 link_dead: Dict[Tuple[int, int], int]):
         self.table = table
         self.inject = inject
         self.row = row
         self.num_dropped = num_dropped
+        self.misroutes = misroutes
+        self.link_dead = link_dead
+
+
+def _build_table(topo: Topology, router, pairs) -> RouteTable:
+    if hasattr(router, "build_table"):
+        return router.build_table(topo, pairs)
+    return RouteTable.build(topo, router, pairs)
 
 
 def _prepare(
@@ -118,18 +185,20 @@ def _prepare(
     router,
     traffic: Sequence[Tuple[int, int, int]],
     route_table: Optional[RouteTable],
+    faults: Optional[FaultPlan] = None,
 ) -> _Prepared:
     arr = np.asarray(traffic, dtype=np.int64).reshape(-1, 3)
     arr = arr[np.argsort(arr[:, 0], kind="stable")]
+    if faults is not None and faults.num_events:
+        if route_table is not None:
+            raise ValueError("pass either route_table or faults, not both")
+        return _prepare_faulted(topo, router, arr, faults)
     n = topo.num_nodes
     codes, inverse = np.unique(arr[:, 1] * n + arr[:, 2], return_inverse=True)
     pairs = [(int(c) // n, int(c) % n) for c in codes]
     table = route_table
     if table is None:
-        if hasattr(router, "build_table"):
-            table = router.build_table(topo, pairs)
-        else:
-            table = RouteTable.build(topo, router, pairs)
+        table = _build_table(topo, router, pairs)
     try:
         rowmap = np.asarray([table.pair_row[p] for p in pairs], dtype=np.int64)
     except KeyError as exc:
@@ -139,11 +208,83 @@ def _prepare(
         ) from None
     rows = rowmap[inverse] if len(pairs) else np.empty(0, dtype=np.int64)
     routed = rows >= 0
+    lengths = table.lengths()
+    mis = np.zeros(table.num_routes, dtype=np.int64)
+    dist_cache: Dict[int, np.ndarray] = {}
+    for pair, r in table.pair_row.items():
+        if r >= 0:
+            mis[r] = _misroute_hops(
+                topo, dist_cache, pair[0], pair[1], int(lengths[r]) - 1
+            )
     return _Prepared(
         table=table,
         inject=arr[routed, 0],
         row=rows[routed],
         num_dropped=int((~routed).sum()),
+        misroutes=mis,
+        link_dead={},
+    )
+
+
+def _prepare_faulted(
+    topo: Topology, router, arr: np.ndarray, faults: FaultPlan
+) -> _Prepared:
+    """Epoch-split preparation: every fault cycle starts a routing epoch.
+
+    Packets injected in an epoch are routed on the topology masked by
+    every fault already active (pairs with a dead endpoint drop at
+    injection), then the per-epoch tables merge into one flat table --
+    rows are unique per (epoch, pair), so the same pair can legitimately
+    route differently before and after a failure.
+    """
+    faults.validate(topo)
+    n = topo.num_nodes
+    boundaries = np.asarray(faults.cycles(), dtype=np.int64)
+    epoch = np.searchsorted(boundaries, arr[:, 0], side="right")
+    rows = np.full(arr.shape[0], -1, dtype=np.int64)
+    chunks: List[np.ndarray] = []
+    offsets = [0]
+    mis: List[int] = []
+    dist_cache: Dict[int, np.ndarray] = {}  # healthy distances, epoch-independent
+    for e in np.unique(epoch):
+        at = int(boundaries[e - 1]) if e > 0 else -1
+        view = topo.with_faults(faults, at_cycle=at) if e > 0 else topo
+        dead = faults.dead_nodes_at(at) if e > 0 else frozenset()
+        sel = np.flatnonzero(epoch == e)
+        codes, inverse = np.unique(arr[sel, 1] * n + arr[sel, 2], return_inverse=True)
+        pairs = [(int(c) // n, int(c) % n) for c in codes]
+        live = [p for p in pairs if p[0] not in dead and p[1] not in dead]
+        sub = _build_table(view, router, live)
+        rowmap = np.empty(len(pairs), dtype=np.int64)
+        for i, pair in enumerate(pairs):
+            r = -1 if (pair[0] in dead or pair[1] in dead) else sub.pair_row[pair]
+            if r < 0:
+                rowmap[i] = -1
+                continue
+            nodes_seq = sub.route_nodes(r)
+            rowmap[i] = len(offsets) - 1
+            chunks.append(np.asarray(nodes_seq, dtype=np.int64))
+            offsets.append(offsets[-1] + nodes_seq.size)
+            mis.append(
+                _misroute_hops(
+                    topo, dist_cache, pair[0], pair[1], int(nodes_seq.size) - 1
+                )
+            )
+        rows[sel] = rowmap[inverse]
+    table = RouteTable(
+        route_data=(np.concatenate(chunks) if chunks
+                    else np.empty(0, dtype=np.int64)),
+        route_offsets=np.asarray(offsets, dtype=np.int64),
+        pair_row={},
+    )
+    routed = rows >= 0
+    return _Prepared(
+        table=table,
+        inject=arr[routed, 0],
+        row=rows[routed],
+        num_dropped=int((~routed).sum()),
+        misroutes=np.asarray(mis, dtype=np.int64),
+        link_dead=faults.link_death_map(topo),
     )
 
 
@@ -168,6 +309,7 @@ class ReferenceSimulator:
         traffic: Sequence[Tuple[int, int, int]],
         max_cycles: int = 100000,
         route_table: Optional[RouteTable] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> SimResult:
         """Simulate until all deliverable packets arrive (or ``max_cycles``).
 
@@ -177,11 +319,17 @@ class ReferenceSimulator:
         Routes are resolved one packet at a time through ``router.route``
         (the original engine's behaviour); pass ``route_table`` to reuse a
         prebuilt table instead, e.g. to time the two cycle engines alone.
+        A ``faults`` plan (mutually exclusive with ``route_table``)
+        switches to per-epoch fault-masked routing with in-flight drops;
+        see the module docstring.
         """
-        if route_table is None:
+        faulted = faults is not None and faults.num_events > 0
+        if route_table is None and not faulted:
             inject: List[int] = []
             routes: List[List[int]] = []
+            mis_of: List[int] = []
             dropped = 0
+            dist_cache: Dict[int, np.ndarray] = {}
             for cycle, src, dst in sorted(traffic, key=lambda t: t[0]):
                 path = self.router.route(self.topo, src, dst)
                 if path is None:
@@ -189,11 +337,17 @@ class ReferenceSimulator:
                 else:
                     inject.append(cycle)
                     routes.append(path)
+                    mis_of.append(
+                        _misroute_hops(self.topo, dist_cache, src, dst, len(path) - 1)
+                    )
+            link_dead: Dict[Tuple[int, int], int] = {}
         else:
-            prep = _prepare(self.topo, self.router, traffic, route_table)
+            prep = _prepare(self.topo, self.router, traffic, route_table, faults)
             routes = [prep.table.route_nodes(r).tolist() for r in prep.row]
             inject = prep.inject.tolist()
             dropped = prep.num_dropped
+            mis_of = [int(prep.misroutes[r]) for r in prep.row]
+            link_dead = prep.link_dead
         num = len(routes)
         delivered_at = [-1] * num
         hop = [0] * num
@@ -203,6 +357,7 @@ class ReferenceSimulator:
         max_queue = 0
         cycle = 0
         remaining = num
+        dropped_in_flight = 0
         while (next_pid < num or in_flight > 0) and cycle < max_cycles:
             # inject (pids are already in injection-cycle order)
             while next_pid < num and inject[next_pid] <= cycle:
@@ -215,11 +370,18 @@ class ReferenceSimulator:
                     continue
                 queues.setdefault((route[0], route[1]), deque()).append(pid)
                 in_flight += 1
-            # forward: each link serves its head-of-queue packet
+            # forward: each live link serves its head-of-queue packet; a
+            # dead link loses its whole queue this cycle
             arrivals: List[int] = []
-            for q in queues.values():
-                if q:
-                    max_queue = max(max_queue, len(q))
+            for link, q in queues.items():
+                if not q:
+                    continue
+                max_queue = max(max_queue, len(q))
+                if link_dead.get(link, _NEVER) <= cycle:
+                    dropped_in_flight += len(q)
+                    in_flight -= len(q)
+                    q.clear()
+                else:
                     arrivals.append(q.popleft())
             # late arrivals join behind this cycle's injections, pid order
             for pid in sorted(arrivals):
@@ -233,17 +395,23 @@ class ReferenceSimulator:
                 else:
                     queues.setdefault((route[at], route[at + 1]), deque()).append(pid)
             cycle += 1
-        latencies = tuple(
-            delivered_at[pid] - inject[pid]
-            for pid in range(num)
-            if delivered_at[pid] >= 0
-        )
+        latencies: List[int] = []
+        hops: List[int] = []
+        misroutes = 0
+        for pid in range(num):
+            if delivered_at[pid] >= 0:
+                latencies.append(delivered_at[pid] - inject[pid])
+                hops.append(hop[pid])
+                misroutes += mis_of[pid]
         return SimResult(
             cycles=max(cycle, 1),
             injected=num + dropped,
             delivered=num - remaining,
-            latencies=latencies,
+            latencies=tuple(latencies),
             max_queue=max_queue,
+            dropped=dropped + dropped_in_flight,
+            misroutes=misroutes,
+            hops=tuple(hops),
         )
 
 
@@ -260,7 +428,8 @@ class VectorizedSimulator:
     1. inject the packets whose cycle has come (one slice + one grouped
        append),
     2. serve every busy link's head with two gathers
-       (``qhead[busy]`` / ``succ[served]``),
+       (``qhead[busy]`` / ``succ[served]``) -- after dropping, in one
+       masked store, every queue whose link a fault has killed,
     3. advance the served packets: a gather against the flat link
        sequences moves survivors to their next queue (grouped append,
        sorted by ``(link, pid)``), finished packets record their
@@ -278,16 +447,22 @@ class VectorizedSimulator:
 
     # -- route-table flattening -------------------------------------------
 
-    def _link_arrays(self, table: RouteTable) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-row directed-link-id sequences ``(link_seq, link_offsets)``.
+    def _link_arrays(
+        self, table: RouteTable
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-row directed-link-id sequences and the link code book:
+        ``(link_seq, link_offsets, link_codes)``.
 
         Link ids are ranks of the ``u * n + v`` codes of the directed
-        edges actually used, so the per-cycle ``bincount`` stays dense.
+        edges actually used, so the per-cycle ``bincount`` stays dense;
+        ``link_codes`` is the sorted code array those ranks index (used
+        to resolve fault plans onto link ids).
         """
         data, offsets = table.route_data, table.route_offsets
         if data.size == 0:
             return (np.empty(0, dtype=np.int64),
-                    np.zeros(len(offsets), dtype=np.int64))
+                    np.zeros(len(offsets), dtype=np.int64),
+                    np.empty(0, dtype=np.int64))
         n = self.topo.num_nodes
         last = np.zeros(data.size, dtype=bool)
         last[offsets[1:] - 1] = True
@@ -298,30 +473,41 @@ class VectorizedSimulator:
         lengths = offsets[1:] - offsets[:-1]
         link_offsets = np.zeros(len(offsets), dtype=np.int64)
         np.cumsum(lengths - 1, out=link_offsets[1:])
-        return link_seq, link_offsets
+        return link_seq, link_offsets, uniq
 
     def run(
         self,
         traffic: Sequence[Tuple[int, int, int]],
         max_cycles: int = 100000,
         route_table: Optional[RouteTable] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> SimResult:
         """Simulate until all deliverable packets arrive (or ``max_cycles``).
 
         Semantics (and results) are identical to
-        :meth:`ReferenceSimulator.run`.
+        :meth:`ReferenceSimulator.run`, fault plans included.
         """
-        prep = _prepare(self.topo, self.router, traffic, route_table)
+        prep = _prepare(self.topo, self.router, traffic, route_table, faults)
         num = len(prep.row)
         if num == 0:
             return SimResult(
                 cycles=1, injected=prep.num_dropped, delivered=0,
-                latencies=(), max_queue=0,
+                latencies=(), max_queue=0, dropped=prep.num_dropped,
             )
-        link_seq, link_offsets = self._link_arrays(prep.table)
+        link_seq, link_offsets, link_codes = self._link_arrays(prep.table)
         num_links = int(link_seq.max()) + 1 if link_seq.size else 1
+        dead_at = None
+        if prep.link_dead:
+            n = self.topo.num_nodes
+            dead_at = np.full(num_links, _NEVER, dtype=np.int64)
+            for (u, v), c in prep.link_dead.items():
+                code = u * n + v
+                i = int(np.searchsorted(link_codes, code))
+                if i < link_codes.size and link_codes[i] == code:
+                    dead_at[i] = c
         inject = prep.inject
         nhops = prep.table.lengths()[prep.row] - 1
+        mis_of = prep.misroutes[prep.row]
         first_link_at = link_offsets[prep.row]
 
         delivered_at = np.full(num, -1, dtype=np.int64)
@@ -357,6 +543,7 @@ class VectorizedSimulator:
         in_flight = 0
         next_pid = 0
         max_queue = 0
+        dropped_in_flight = 0
         last_busy = -1  # last cycle that injected or forwarded anything
         cycle = int(inject[0]) if inject[0] < max_cycles else max_cycles
         work_left = True
@@ -377,6 +564,17 @@ class VectorizedSimulator:
                 # serve the head of every non-empty queue
                 busy = np.flatnonzero(qlen)
                 max_queue = max(max_queue, int(qlen[busy].max()))
+                if dead_at is not None:
+                    alive = dead_at[busy] > cycle
+                    if not alive.all():
+                        slain = busy[~alive]
+                        lost = int(qlen[slain].sum())
+                        dropped_in_flight += lost
+                        in_flight -= lost
+                        qhead[slain] = -1
+                        qtail[slain] = -1
+                        qlen[slain] = 0
+                        busy = busy[alive]
                 served = qhead[busy]
                 qhead[busy] = succ[served]
                 qlen[busy] -= 1
@@ -407,6 +605,9 @@ class VectorizedSimulator:
             delivered=int(mask.sum()),
             latencies=latencies,
             max_queue=max_queue,
+            dropped=prep.num_dropped + dropped_in_flight,
+            misroutes=int(mis_of[mask].sum()),
+            hops=tuple(nhops[mask].tolist()),
         )
 
 

@@ -5,17 +5,26 @@ latency/throughput *curves*, not single points: offered load rises until
 the network saturates, and the shape of the knee is the verdict on the
 topology.  This module runs those grids at scale:
 
-- a sweep point is a fully picklable :class:`PointSpec` (topology and
-  router are *names*, rebuilt inside the worker), so grids parallelise
-  with :mod:`multiprocessing` across cores;
+- a sweep point is a fully picklable :class:`PointSpec` (topology,
+  router and fault plan are *names/specs*, rebuilt inside the worker),
+  so grids parallelise with :mod:`multiprocessing` across cores;
 - each point generates seeded traffic from :mod:`repro.network.traffic`,
-  runs the vectorized simulator, and condenses the run into a flat
-  :class:`SweepRecord` of floats -- ready for CSV/JSON dumping or for
-  :func:`saturation_curves` to regroup into per-scenario load curves.
+  runs the vectorized simulator -- under the point's
+  :class:`~repro.network.faults.FaultPlan` when one is given -- and
+  condenses the run into a flat :class:`SweepRecord` of floats, ready
+  for CSV/JSON dumping or for :func:`saturation_curves` to regroup into
+  per-scenario load curves;
+- :func:`saturation_curves` aggregates the seed axis: every
+  (topology, router, pattern, faults, load) cell becomes one
+  :class:`CurvePoint` with mean/std over its seeds, so multi-seed grids
+  plot as one curve with error bars instead of interleaved replicas.
 
 Offered load is normalised: ``load`` is packets per node per cycle over
 the injection window, so ``num_packets = round(load * nodes * window)``
-and curves are comparable across topologies of different size.
+and curves are comparable across topologies of different size.  Under a
+fault plan, failed sources stop injecting and the record's ``dropped`` /
+``misroutes`` columns carry the degradation story (delivery vs. fault
+count is the paper's graceful-degradation curve).
 
 The ``repro sweep`` CLI subcommand is a thin wrapper over
 :func:`run_sweep` / :func:`write_csv` / :func:`write_json`.
@@ -28,9 +37,12 @@ import json
 import multiprocessing
 from dataclasses import asdict, dataclass, fields
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from statistics import fmean, pstdev
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.network.faults import FaultPlan
 from repro.network.routing import (
+    AdaptiveRouter,
     BfsRouter,
     CanonicalRouter,
     DimensionOrderRouter,
@@ -41,9 +53,11 @@ from repro.network.topology import Topology, topology_of
 from repro.network.traffic import PATTERNS, make_traffic
 
 __all__ = [
+    "CurvePoint",
     "PointSpec",
     "ROUTERS",
     "SweepRecord",
+    "nearest_rank_p95",
     "parse_topology",
     "run_point",
     "run_sweep",
@@ -55,6 +69,7 @@ __all__ = [
 ROUTERS: Dict[str, Callable[[], object]] = {
     "bfs": BfsRouter,
     "canonical": CanonicalRouter,
+    "adaptive": AdaptiveRouter,
     "ecube": DimensionOrderRouter,
     "greedy": GreedyRouter,
 }
@@ -89,9 +104,22 @@ def parse_topology(spec: str) -> Topology:
     return topology_of((name, d))
 
 
+def nearest_rank_p95(latencies: Sequence[int]) -> float:
+    """Nearest-rank 95th percentile: the ``ceil(0.95 n)``-th smallest value.
+
+    Integer arithmetic, so no float-ceiling artefacts: 20 samples give
+    the 19th value, not the maximum (the old ``(95 * n) // 100`` index
+    over-shot to the max for every ``n`` not divisible by 20).
+    """
+    if not latencies:
+        return 0.0
+    lat = sorted(latencies)
+    return float(lat[(95 * len(lat) + 99) // 100 - 1])
+
+
 @dataclass(frozen=True)
 class PointSpec:
-    """One picklable grid point (names, not objects)."""
+    """One picklable grid point (names and spec strings, not objects)."""
 
     topology: str
     router: str = "bfs"
@@ -100,6 +128,7 @@ class PointSpec:
     seed: int = 0
     inject_window: int = 64
     max_cycles: int = 100000
+    faults: str = ""
 
 
 @dataclass(frozen=True)
@@ -111,9 +140,13 @@ class SweepRecord:
     pattern: str
     load: float
     seed: int
+    faults: str
+    num_faults: int
     nodes: int
     injected: int
     delivered: int
+    dropped: int
+    misroutes: int
     cycles: int
     max_queue: int
     avg_latency: float
@@ -134,26 +167,34 @@ def run_point(spec: PointSpec) -> SweepRecord:
         ) from None
     if spec.load <= 0:
         raise ValueError(f"load must be positive, got {spec.load}")
+    plan: Optional[FaultPlan] = None
+    if spec.faults:
+        plan = FaultPlan.parse(spec.faults, num_nodes=topo.num_nodes).validate(topo)
     num_packets = max(1, round(spec.load * topo.num_nodes * spec.inject_window))
     traffic = make_traffic(
-        spec.pattern, topo, num_packets, spec.inject_window, seed=spec.seed
+        spec.pattern, topo, num_packets, spec.inject_window, seed=spec.seed,
+        faults=plan,
     )
-    result = VectorizedSimulator(topo, router).run(traffic, max_cycles=spec.max_cycles)
-    lat = sorted(result.latencies)
-    p95 = float(lat[min(len(lat) - 1, (95 * len(lat)) // 100)]) if lat else 0.0
+    result = VectorizedSimulator(topo, router).run(
+        traffic, max_cycles=spec.max_cycles, faults=plan
+    )
     return SweepRecord(
         topology=topo.name,
         router=spec.router,
         pattern=spec.pattern,
         load=spec.load,
         seed=spec.seed,
+        faults=spec.faults,
+        num_faults=plan.num_events if plan is not None else 0,
         nodes=topo.num_nodes,
         injected=result.injected,
         delivered=result.delivered,
+        dropped=result.dropped,
+        misroutes=result.misroutes,
         cycles=result.cycles,
         max_queue=result.max_queue,
         avg_latency=result.avg_latency,
-        p95_latency=p95,
+        p95_latency=nearest_rank_p95(result.latencies),
         max_latency=result.max_latency,
         throughput=result.throughput,
         delivery_rate=result.delivery_rate,
@@ -166,15 +207,18 @@ def run_sweep(
     loads: Sequence[float] = (0.1, 0.2, 0.4, 0.6, 0.8),
     routers: Sequence[str] = ("bfs",),
     seeds: Sequence[int] = (0,),
+    faults: Sequence[str] = ("",),
     inject_window: int = 64,
     max_cycles: int = 100000,
     processes: int = 1,
 ) -> List[SweepRecord]:
-    """Run the full (topology x router x pattern x load x seed) grid.
+    """Run the full (topology x router x pattern x faults x load x seed) grid.
 
+    ``faults`` is a sequence of fault-plan spec strings (``""`` = the
+    unfaulted baseline), so one call produces degradation curves.
     ``processes > 1`` distributes points over a multiprocessing pool;
-    specs are validated eagerly (unknown names raise before any worker
-    starts).
+    specs are validated eagerly (unknown names and impossible fault
+    plans raise before any worker starts).
     """
     for p in patterns:
         if p not in PATTERNS:
@@ -183,15 +227,19 @@ def run_sweep(
         if r not in ROUTERS:
             raise ValueError(f"unknown router {r!r}; choose from {sorted(ROUTERS)}")
     for t in topologies:
-        parse_topology(t)  # raises on a bad spec before any point runs
+        topo = parse_topology(t)  # raises on a bad spec before any point runs
+        for f in faults:
+            if f:
+                FaultPlan.parse(f, num_nodes=topo.num_nodes).validate(topo)
     specs = [
         PointSpec(
-            topology=t, router=r, pattern=p, load=ld, seed=s,
+            topology=t, router=r, pattern=p, load=ld, seed=s, faults=f,
             inject_window=inject_window, max_cycles=max_cycles,
         )
         for t in topologies
         for r in routers
         for p in patterns
+        for f in faults
         for ld in loads
         for s in seeds
     ]
@@ -201,16 +249,69 @@ def run_sweep(
     return [run_point(s) for s in specs]
 
 
+@dataclass(frozen=True)
+class CurvePoint:
+    """One aggregated saturation-curve point: every seed of one
+    (topology, router, pattern, faults, load) cell condensed to mean/std
+    (population std; zero for single-seed cells)."""
+
+    topology: str
+    router: str
+    pattern: str
+    faults: str
+    load: float
+    seeds: int
+    avg_latency: float
+    std_avg_latency: float
+    p95_latency: float
+    max_latency: int
+    throughput: float
+    std_throughput: float
+    delivery_rate: float
+    max_queue: int
+    dropped: float
+    misroutes: float
+
+
 def saturation_curves(
     records: Sequence[SweepRecord],
-) -> Dict[Tuple[str, str, str], List[SweepRecord]]:
-    """Regroup records into per-(topology, router, pattern) load curves,
-    each sorted by offered load (the saturation-curve x axis)."""
-    curves: Dict[Tuple[str, str, str], List[SweepRecord]] = {}
+) -> Dict[Tuple[str, str, str, str], List[CurvePoint]]:
+    """Regroup records into per-(topology, router, pattern, faults) load
+    curves, sorted by offered load (the saturation-curve x axis).
+
+    Multi-seed cells aggregate into one :class:`CurvePoint` per load
+    instead of interleaving seed replicas along the curve.
+    """
+    cells: Dict[Tuple[str, str, str, str], Dict[float, List[SweepRecord]]] = {}
     for rec in records:
-        curves.setdefault((rec.topology, rec.router, rec.pattern), []).append(rec)
-    for curve in curves.values():
-        curve.sort(key=lambda r: (r.load, r.seed))
+        key = (rec.topology, rec.router, rec.pattern, rec.faults)
+        cells.setdefault(key, {}).setdefault(rec.load, []).append(rec)
+    curves: Dict[Tuple[str, str, str, str], List[CurvePoint]] = {}
+    for key, by_load in cells.items():
+        curve = []
+        for load in sorted(by_load):
+            rs = by_load[load]
+            lats = [r.avg_latency for r in rs]
+            thrus = [r.throughput for r in rs]
+            curve.append(CurvePoint(
+                topology=key[0],
+                router=key[1],
+                pattern=key[2],
+                faults=key[3],
+                load=load,
+                seeds=len(rs),
+                avg_latency=fmean(lats),
+                std_avg_latency=pstdev(lats) if len(lats) > 1 else 0.0,
+                p95_latency=fmean(r.p95_latency for r in rs),
+                max_latency=max(r.max_latency for r in rs),
+                throughput=fmean(thrus),
+                std_throughput=pstdev(thrus) if len(thrus) > 1 else 0.0,
+                delivery_rate=fmean(r.delivery_rate for r in rs),
+                max_queue=max(r.max_queue for r in rs),
+                dropped=fmean(r.dropped for r in rs),
+                misroutes=fmean(r.misroutes for r in rs),
+            ))
+        curves[key] = curve
     return curves
 
 

@@ -10,13 +10,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.cubes.generalized import GeneralizedFibonacciCube, generalized_fibonacci_cube
 from repro.graphs.core import Graph
 from repro.graphs.traversal import all_pairs_distances, connected_components, is_connected
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports topology)
+    from repro.network.faults import FaultPlan
 
 __all__ = ["Topology", "faulted_topology", "topology_of"]
 
@@ -27,17 +30,20 @@ class Topology:
 
     ``word_length`` is set when nodes are binary words of a fixed length
     (cube-like topologies); routers that rely on bit addresses require
-    it.
+    it.  ``allow_disconnected`` is set on masked fault views
+    (:meth:`with_faults`), where failed nodes survive as isolated
+    vertices so indices stay stable.
     """
 
     name: str
     graph: Graph
     word_length: Optional[int] = None
+    allow_disconnected: bool = False
 
     def __post_init__(self):
         if self.graph.num_vertices == 0:
             raise ValueError("a topology needs at least one node")
-        if not is_connected(self.graph):
+        if not self.allow_disconnected and not is_connected(self.graph):
             raise ValueError(f"topology {self.name!r} is disconnected")
 
     # -- metrics ---------------------------------------------------------
@@ -81,6 +87,41 @@ class Topology:
         if not isinstance(label, str):
             raise TypeError(f"node {index} has non-word label {label!r}")
         return label
+
+    # -- fault masking -----------------------------------------------------
+
+    def with_faults(self, plan: "FaultPlan", at_cycle: int = 0) -> "Topology":
+        """The masked view of this topology at ``at_cycle`` of ``plan``.
+
+        Same vertex set (indices stay stable for traffic and routes):
+        links dead at that cycle are removed and failed nodes survive as
+        isolated vertices whose word addresses are *hidden* behind
+        sentinel labels, so word-based routers cannot step onto them.
+        Returns ``self`` unchanged when nothing has failed yet.
+        """
+        dead_nodes = plan.dead_nodes_at(at_cycle)
+        dead_links = plan.dead_links_at(at_cycle)
+        if not dead_nodes and not dead_links:
+            return self
+        g = self.graph
+        masked = Graph(g.num_vertices)
+        for u, v in g.edges():  # edges() yields u < v, matching dead_links
+            if u in dead_nodes or v in dead_nodes or (u, v) in dead_links:
+                continue
+            masked.add_edge(u, v)
+        if g.labels is not None:
+            masked.set_labels(
+                [
+                    ("failed", i) if i in dead_nodes else lab
+                    for i, lab in enumerate(g.labels)
+                ]
+            )
+        return Topology(
+            name=f"{self.name}/f@{at_cycle}",
+            graph=masked,
+            word_length=self.word_length,
+            allow_disconnected=True,
+        )
 
 
 def topology_of(cube_or_graph, name: Optional[str] = None) -> Topology:

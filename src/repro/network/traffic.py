@@ -15,7 +15,11 @@ for non-palindromic factors).  The fallback keeps every pattern total on
 every topology, so sweeps can run the same scenario grid everywhere.
 
 The registry :data:`PATTERNS` / :func:`make_traffic` is what the sweep
-harness and the ``repro sweep`` CLI iterate over.
+harness and the ``repro sweep`` CLI iterate over.  Under a fault plan
+(:class:`~repro.network.faults.FaultPlan`), :func:`make_traffic` removes
+the triples whose *source* is already dead at its injection cycle --
+failed nodes stop injecting, while dead destinations and in-flight
+losses stay the simulator's accounting.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.network.faults import _NEVER, FaultPlan
 from repro.network.topology import Topology
 
 __all__ = [
@@ -289,9 +294,15 @@ def make_traffic(
     num_packets: int,
     inject_window: int,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
     **kwargs,
 ) -> Traffic:
-    """Generate traffic by registry name (see :data:`PATTERNS`)."""
+    """Generate traffic by registry name (see :data:`PATTERNS`).
+
+    ``faults`` silences dead sources: triples whose source node has
+    failed at or before their injection cycle are removed, so offered
+    load comes from surviving nodes only.
+    """
     try:
         fn = PATTERNS[pattern]
     except KeyError:
@@ -299,4 +310,8 @@ def make_traffic(
             f"unknown traffic pattern {pattern!r}; "
             f"choose from {sorted(PATTERNS)}"
         ) from None
-    return fn(topo, num_packets, inject_window, seed=seed, **kwargs)
+    out = fn(topo, num_packets, inject_window, seed=seed, **kwargs)
+    if faults is not None and faults.node_faults:
+        death = faults.node_death_cycles()
+        out = [t for t in out if death.get(t[1], _NEVER) > t[0]]
+    return out

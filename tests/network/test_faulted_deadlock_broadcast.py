@@ -1,0 +1,106 @@
+"""Deadlock analysis and broadcast scheduling on damaged networks.
+
+Exercises :mod:`repro.network.deadlock` and :mod:`repro.network.broadcast`
+over both fault views: the masked in-place view
+(:meth:`Topology.with_faults`, indices stable, failed nodes isolated) and
+the surgical survivor (:func:`faulted_topology`, largest component)."""
+
+import pytest
+
+from repro.cubes.hypercube import hypercube
+from repro.network.broadcast import (
+    binomial_broadcast_schedule,
+    broadcast_rounds,
+    verify_schedule,
+)
+from repro.network.deadlock import (
+    channel_dependency_graph,
+    is_deadlock_free,
+)
+from repro.network.faults import FaultPlan
+from repro.network.routing import AdaptiveRouter, BfsRouter, DimensionOrderRouter
+from repro.network.topology import faulted_topology, topology_of
+
+
+def _live_pairs(topo, dead):
+    n = topo.num_nodes
+    return [
+        (s, t)
+        for s in range(n)
+        for t in range(n)
+        if s != t and s not in dead and t not in dead
+    ]
+
+
+class TestDeadlockUnderFaults:
+    @pytest.mark.parametrize("spec", [("11", 5), ("111", 5)])
+    def test_ecube_stays_deadlock_free_on_masked_cubes(self, spec):
+        """Strict dimension order uses channels in increasing dimension on
+        any *subset* of links too, so the CDG stays acyclic after faults."""
+        topo = topology_of(spec)
+        plan = FaultPlan.parse("n1,l0-1", num_nodes=topo.num_nodes)
+        # l0-1 may not be an edge of every cube; keep the node fault only then
+        if not topo.graph.has_edge(0, 1):
+            plan = FaultPlan.parse("n1")
+        view = topo.with_faults(plan)
+        pairs = _live_pairs(topo, plan.dead_nodes_at(0))
+        assert is_deadlock_free(view, DimensionOrderRouter(), pairs=pairs)
+
+    def test_bfs_on_surgical_survivor_is_analysable(self):
+        survivor = faulted_topology(topology_of(("11", 6)), 3, seed=2)
+        deps = channel_dependency_graph(survivor, BfsRouter())
+        assert deps  # routes longer than one hop exist
+        assert isinstance(is_deadlock_free(survivor, BfsRouter()), bool)
+
+    def test_adaptive_detours_add_dependencies(self):
+        """Misrouting adds channel dependencies the canonical rule never
+        creates; the CDG must still be computable over live pairs."""
+        topo = topology_of(hypercube(4), name="Q4")
+        u, v = topo.graph.index_of("0000"), topo.graph.index_of("1000")
+        view = topo.with_faults(FaultPlan(link_faults=((0, u, v),)))
+        deps_faulted = channel_dependency_graph(view, AdaptiveRouter())
+        deps_clean = channel_dependency_graph(topo, AdaptiveRouter())
+
+        def arcs(d):
+            return {(a, b) for a, succs in d.items() for b in succs}
+
+        assert arcs(deps_faulted) - arcs(deps_clean), "detours created no new arcs?"
+
+    def test_dead_endpoint_pairs_are_skipped_not_fatal(self):
+        topo = topology_of(("11", 5))
+        view = topo.with_faults(FaultPlan.parse("n0"))
+        # BFS routes from/to the isolated node fail; the CDG builder skips them
+        deps = channel_dependency_graph(view, BfsRouter())
+        assert all(0 not in (a, b) for (a, b) in deps)
+
+
+class TestBroadcastUnderFaults:
+    @pytest.mark.parametrize("num_faults", [1, 2, 3])
+    def test_broadcast_on_surgical_survivor(self, num_faults):
+        """Graceful degradation: the surviving component still broadcasts
+        within a small slack of the log2 lower bound."""
+        survivor = faulted_topology(topology_of(("11", 7)), num_faults, seed=4)
+        rounds, bound = broadcast_rounds(survivor, 0)
+        assert rounds >= bound
+        assert rounds <= bound + 4, (num_faults, rounds, bound)
+        schedule = binomial_broadcast_schedule(survivor, 0)
+        assert verify_schedule(survivor, 0, schedule)
+
+    def test_broadcast_on_masked_view_raises_on_unreachable(self):
+        """The masked view keeps failed nodes as isolated vertices, so a
+        full broadcast is impossible by construction -- the scheduler must
+        say so instead of looping."""
+        topo = topology_of(("11", 5))
+        view = topo.with_faults(FaultPlan.parse("n3"))
+        with pytest.raises(ValueError, match="does not reach"):
+            binomial_broadcast_schedule(view, 0)
+
+    def test_verify_schedule_rejects_dead_link_sends(self):
+        """A pre-fault schedule is invalid on the masked topology as soon
+        as it uses a killed link."""
+        topo = topology_of(hypercube(3), name="Q3")
+        schedule = binomial_broadcast_schedule(topo, 0)
+        used = {tuple(sorted(st)) for rnd in schedule for st in rnd}
+        u, v = sorted(next(iter(used)))
+        faulty = topo.with_faults(FaultPlan(link_faults=((0, u, v),)))
+        assert not verify_schedule(faulty, 0, schedule)

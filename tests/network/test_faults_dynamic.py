@@ -1,0 +1,249 @@
+"""The dynamic fault subsystem: FaultPlan, masked views, AdaptiveRouter
+and the engines' drop/misroute semantics."""
+
+import pytest
+
+from repro.cubes.hypercube import hypercube
+from repro.network.faults import FaultPlan
+from repro.network.routing import AdaptiveRouter, CanonicalRouter, route_stats
+from repro.network.simulator import ReferenceSimulator, VectorizedSimulator
+from repro.network.topology import topology_of
+from repro.network.traffic import make_traffic, uniform_traffic
+
+
+FIB = topology_of(("11", 6))
+Q4 = topology_of(hypercube(4), name="Q4")
+
+
+class TestFaultPlan:
+    def test_normalisation_sorts_orders_and_dedupes(self):
+        plan = FaultPlan(
+            node_faults=((5, 3), (0, 7), (9, 3)),
+            link_faults=((2, 4, 1), (2, 1, 4), (0, 0, 2)),
+        )
+        # node 3 keeps its earliest failure; link endpoints are ordered
+        assert plan.node_faults == ((0, 7), (5, 3))
+        assert plan.link_faults == ((0, 0, 2), (2, 1, 4))
+        assert plan.num_events == 4
+
+    def test_equal_plans_hash_equal(self):
+        a = FaultPlan(link_faults=((3, 5, 2),))
+        b = FaultPlan(link_faults=((3, 2, 5),))
+        assert a == b and hash(a) == hash(b)
+
+    def test_rejects_negative_and_loops(self):
+        with pytest.raises(ValueError):
+            FaultPlan(node_faults=((-1, 0),))
+        with pytest.raises(ValueError):
+            FaultPlan(link_faults=((0, 3, 3),))
+
+    def test_parse_spec_round_trip(self):
+        plan = FaultPlan.parse("n3, n5@10 ,l0-2@5,l7-4")
+        assert plan.node_faults == ((0, 3), (10, 5))
+        assert plan.link_faults == ((0, 4, 7), (5, 0, 2))
+        assert FaultPlan.parse(plan.spec()) == plan
+        assert FaultPlan.parse("") == FaultPlan()
+        assert FaultPlan().spec() == ""
+
+    def test_parse_rand_is_seeded_and_needs_n(self):
+        a = FaultPlan.parse("rand3@20s7", num_nodes=21)
+        b = FaultPlan.parse("rand3@20s7", num_nodes=21)
+        assert a == b and len(a.node_faults) == 3
+        assert all(c == 20 for c, _ in a.node_faults)
+        assert a == FaultPlan.random_nodes(21, 3, seed=7, at_cycle=20)
+        with pytest.raises(ValueError, match="num_nodes"):
+            FaultPlan.parse("rand3")
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("x3", "n3@", "l1", "n3;n4", "l1-2-3"):
+            with pytest.raises(ValueError, match="fault token"):
+                FaultPlan.parse(bad)
+
+    def test_cycles_and_dead_queries(self):
+        plan = FaultPlan.parse("n1,n2@8,l0-2@5")
+        assert plan.cycles() == (0, 5, 8)
+        assert plan.dead_nodes_at(0) == {1}
+        assert plan.dead_nodes_at(8) == {1, 2}
+        assert plan.dead_links_at(4) == frozenset()
+        assert plan.dead_links_at(5) == {(0, 2)}
+
+    def test_link_death_map_includes_node_incident_links(self):
+        plan = FaultPlan.parse("n0@3")
+        dead = plan.link_death_map(Q4)
+        for u in Q4.graph.neighbors(0):
+            assert dead[(0, u)] == 3 and dead[(u, 0)] == 3
+        assert len(dead) == 2 * Q4.graph.degree(0)
+
+    def test_validate(self):
+        FaultPlan.parse("n0,l0-1").validate(Q4)  # 0-1 is a hypercube edge
+        with pytest.raises(ValueError, match="out of range"):
+            FaultPlan.parse("n99").validate(Q4)
+        with pytest.raises(ValueError, match="not a link"):
+            FaultPlan.parse("l0-3").validate(Q4)  # Hamming distance 2
+
+
+class TestMaskedTopology:
+    def test_mask_removes_links_and_hides_dead_words(self):
+        plan = FaultPlan.parse("n0,l1-3")
+        view = FIB.with_faults(plan, at_cycle=0)
+        assert view.num_nodes == FIB.num_nodes  # indices stay stable
+        assert view.allow_disconnected
+        assert not view.graph.has_edge(1, 3)
+        assert view.graph.degree(0) == 0
+        word0 = FIB.node_word(0)
+        assert not view.graph.has_label(word0)
+        with pytest.raises(TypeError):
+            view.node_word(0)
+        # live nodes keep their addresses
+        assert view.node_word(1) == FIB.node_word(1)
+
+    def test_mask_before_first_fault_is_identity(self):
+        plan = FaultPlan.parse("n0@10")
+        assert FIB.with_faults(plan, at_cycle=9) is FIB
+        assert FIB.with_faults(plan, at_cycle=10) is not FIB
+
+
+class TestAdaptiveRouter:
+    def test_matches_canonical_on_unfaulted_1s_cubes(self):
+        for spec in (("11", 6), ("111", 5)):
+            topo = topology_of(spec)
+            adaptive, canonical = AdaptiveRouter(), CanonicalRouter()
+            n = topo.num_nodes
+            for s in range(n):
+                for t in range(n):
+                    if s != t:
+                        assert adaptive.route(topo, s, t) == canonical.route(topo, s, t)
+
+    def test_full_delivery_and_optimality_unfaulted(self):
+        stats = route_stats(Q4, AdaptiveRouter())
+        assert stats.delivery_rate == 1.0
+        assert stats.optimality_rate == 1.0
+
+    def test_detours_around_a_dead_link(self):
+        # 0000 -> 1000 with the direct link dead: must misroute (2 extra hops)
+        src, dst = Q4.graph.index_of("0000"), Q4.graph.index_of("1000")
+        view = Q4.with_faults(FaultPlan(link_faults=((0, src, dst),)))
+        path = AdaptiveRouter().route(view, src, dst)
+        assert path is not None
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == 3  # Hamming distance 1 + one misroute
+        for a, b in zip(path, path[1:]):
+            assert view.graph.has_edge(a, b)
+
+    def test_budget_zero_fails_where_detour_is_needed(self):
+        src, dst = Q4.graph.index_of("0000"), Q4.graph.index_of("1000")
+        view = Q4.with_faults(FaultPlan(link_faults=((0, src, dst),)))
+        assert AdaptiveRouter(max_misroutes=0).route(view, src, dst) is None
+
+    def test_never_routes_through_a_dead_node(self):
+        plan = FaultPlan.parse("n5")
+        view = FIB.with_faults(plan)
+        router = AdaptiveRouter()
+        for s in range(FIB.num_nodes):
+            for t in range(FIB.num_nodes):
+                if s == t or 5 in (s, t):
+                    continue
+                path = router.route(view, s, t)
+                if path is not None:
+                    assert 5 not in path
+
+    def test_rejects_bad_budget_and_wordless_topology(self):
+        with pytest.raises(ValueError):
+            AdaptiveRouter(max_misroutes=-1)
+        from repro.graphs.core import Graph
+
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        nameless = topology_of(g, name="path")
+        with pytest.raises(ValueError, match="word-addressed"):
+            AdaptiveRouter().route(nameless, 0, 2)
+
+
+class TestEngineFaultSemantics:
+    def test_static_link_fault_drops_oblivious_packets(self):
+        """Canonical ignores link faults: packets crossing the dead link
+        are dropped in flight, visible in SimResult.dropped."""
+        src, dst = Q4.graph.index_of("0000"), Q4.graph.index_of("1000")
+        plan = FaultPlan(link_faults=((0, src, dst),))
+        traffic = [(0, src, dst)] * 3
+        res = VectorizedSimulator(Q4, CanonicalRouter()).run(traffic, faults=plan)
+        assert res.injected == 3 and res.delivered == 0 and res.dropped == 3
+        assert res.delivery_rate == 0.0 and res.drop_rate == 1.0
+
+    def test_adaptive_reroutes_what_oblivious_drops(self):
+        src, dst = Q4.graph.index_of("0000"), Q4.graph.index_of("1000")
+        plan = FaultPlan(link_faults=((0, src, dst),))
+        traffic = [(0, src, dst)] * 3
+        res = VectorizedSimulator(Q4, AdaptiveRouter()).run(traffic, faults=plan)
+        assert res.delivered == 3 and res.dropped == 0
+        assert res.misroutes == 3  # one detour per packet
+        assert res.hops == (3, 3, 3)
+
+    def test_staged_fault_kills_packets_in_flight(self):
+        """A link dying mid-run loses exactly the packets queued on it."""
+        src, dst = Q4.graph.index_of("0000"), Q4.graph.index_of("1000")
+        # 5 packets injected at cycle 0 serialise on one link: one leaves
+        # per cycle, so a fault at cycle 2 kills the 3 still queued
+        plan = FaultPlan(link_faults=((2, src, dst),))
+        traffic = [(0, src, dst)] * 5
+        for sim in (ReferenceSimulator(Q4), VectorizedSimulator(Q4)):
+            res = sim.run(traffic, faults=plan)
+            assert res.delivered == 2 and res.dropped == 3, type(sim).__name__
+
+    def test_dead_endpoints_drop_at_injection(self):
+        plan = FaultPlan.parse("n2@5")
+        traffic = [(0, 2, 4), (0, 4, 2), (6, 1, 2), (6, 2, 1), (6, 0, 1)]
+        res = VectorizedSimulator(Q4).run(traffic, faults=plan)
+        # before cycle 5 node 2 works; after, pairs touching it drop
+        assert res.injected == 5
+        assert res.dropped == 2
+        assert res.delivered == 3
+
+    def test_rebuilt_routes_avoid_late_faults(self):
+        """Packets injected after a node fault route around it (BFS on the
+        masked view), packets before it may die -- epochs in action."""
+        topo = Q4
+        mid = topo.graph.index_of("0011")
+        plan = FaultPlan(node_faults=((10, mid),))
+        src, dst = topo.graph.index_of("0001"), topo.graph.index_of("0111")
+        late = [(20, src, dst)] * 4
+        res = VectorizedSimulator(topo).run(late, faults=plan)
+        assert res.delivered == 4
+        assert res.dropped == 0
+
+    def test_engines_validate_the_plan_against_the_topology(self):
+        """A typo'd plan must fail loudly at the simulator boundary, not
+        crash with an IndexError or silently simulate unfaulted."""
+        traffic = [(0, 0, 1)]
+        with pytest.raises(ValueError, match="out of range"):
+            VectorizedSimulator(Q4).run(traffic, faults=FaultPlan.parse("n999"))
+        with pytest.raises(ValueError, match="not a link"):
+            ReferenceSimulator(Q4).run(traffic, faults=FaultPlan.parse("l0-3"))
+
+    def test_unfaulted_results_gain_hops_and_misroute_fields(self):
+        traffic = uniform_traffic(FIB, 100, 10, seed=2)
+        ref = ReferenceSimulator(FIB).run(traffic)
+        vec = VectorizedSimulator(FIB).run(traffic)
+        assert ref == vec
+        assert len(vec.hops) == vec.delivered
+        assert vec.misroutes == 0  # BFS on an isometric cube is minimal
+        assert vec.avg_hops == sum(vec.hops) / len(vec.hops)
+
+    def test_no_phantom_misroutes_on_non_isometric_cubes(self):
+        """Regression: on Q_d(101) graph distance exceeds Hamming distance
+        for some pairs; shortest-path routing on the undamaged cube must
+        still report zero misroutes (detours are measured against graph
+        distance, not the Hamming lower bound)."""
+        topo = topology_of(("101", 6))
+        traffic = make_traffic("uniform", topo, 400, 16, seed=1)
+        for sim in (ReferenceSimulator(topo), VectorizedSimulator(topo)):
+            res = sim.run(traffic)
+            assert res.misroutes == 0, type(sim).__name__
+            assert res.delivery_rate == 1.0
+
+    def test_traffic_generation_silences_dead_sources(self):
+        plan = FaultPlan.parse("n0,n1@8")
+        traffic = make_traffic("uniform", FIB, 400, 16, seed=3, faults=plan)
+        assert all(src != 0 for _, src, _ in traffic)
+        assert all(cycle < 8 for cycle, src, _ in traffic if src == 1)
+        baseline = make_traffic("uniform", FIB, 400, 16, seed=3)
+        assert len(traffic) < len(baseline)

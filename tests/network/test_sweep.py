@@ -7,8 +7,10 @@ import pytest
 
 from repro.cli import main
 from repro.network.sweep import (
+    CurvePoint,
     PointSpec,
     SweepRecord,
+    nearest_rank_p95,
     parse_topology,
     run_point,
     run_sweep,
@@ -54,6 +56,86 @@ class TestRunPoint:
     def test_bad_load(self):
         with pytest.raises(ValueError, match="load"):
             run_point(PointSpec(topology="Q:3", load=0.0))
+
+
+class TestNearestRankP95:
+    def test_twenty_samples_give_the_19th_value_not_the_max(self):
+        """Regression: the old ``(95 * n) // 100`` index returned the max
+        for n = 20 (index 19); nearest rank is the 19th value (index 18)."""
+        assert nearest_rank_p95(list(range(1, 21))) == 19.0
+
+    def test_exact_percentile_boundaries(self):
+        assert nearest_rank_p95(list(range(1, 101))) == 95.0
+        assert nearest_rank_p95([7]) == 7.0
+        assert nearest_rank_p95([3, 1, 2]) == 3.0  # sorts internally
+        assert nearest_rank_p95(()) == 0.0
+
+    def test_never_exceeds_the_max(self):
+        for n in range(1, 60):
+            lat = list(range(n))
+            assert nearest_rank_p95(lat) <= max(lat)
+
+
+class TestSeedAggregation:
+    def test_multi_seed_points_aggregate_not_interleave(self):
+        records = run_sweep(
+            ["11:5"], loads=(0.2, 0.5), seeds=(0, 1, 2), inject_window=16
+        )
+        assert len(records) == 2 * 3
+        curves = saturation_curves(records)
+        assert len(curves) == 1
+        (curve,) = curves.values()
+        # one aggregated point per load, not one per (load, seed)
+        assert [p.load for p in curve] == [0.2, 0.5]
+        for point in curve:
+            assert isinstance(point, CurvePoint)
+            assert point.seeds == 3
+            cell = [r for r in records if r.load == point.load]
+            lats = [r.avg_latency for r in cell]
+            assert min(lats) <= point.avg_latency <= max(lats)
+            assert point.std_avg_latency >= 0.0
+            assert point.max_queue == max(r.max_queue for r in cell)
+
+    def test_single_seed_std_is_zero(self):
+        records = run_sweep(["Q:4"], loads=(0.3,), inject_window=8)
+        (curve,) = saturation_curves(records).values()
+        assert curve[0].seeds == 1
+        assert curve[0].std_avg_latency == 0.0
+        assert curve[0].std_throughput == 0.0
+
+
+class TestFaultAxis:
+    def test_degradation_grid(self):
+        records = run_sweep(
+            ["11:6"],
+            routers=("adaptive",),
+            loads=(0.2, 0.5),
+            faults=("", "rand2s3", "rand4s3"),
+            inject_window=16,
+        )
+        assert len(records) == 2 * 3
+        by_plan = {r.faults: r for r in records if r.load == 0.5}
+        assert by_plan[""].num_faults == 0
+        assert by_plan["rand2s3"].num_faults == 2
+        assert by_plan["rand4s3"].num_faults == 4
+        # graceful degradation: faults can only lose traffic, never gain
+        assert by_plan["rand4s3"].delivered <= by_plan[""].delivered
+        assert by_plan[""].dropped == 0
+        curves = saturation_curves(records)
+        assert len(curves) == 3  # one curve per fault plan
+
+    def test_fault_point_is_reproducible(self):
+        spec = PointSpec(
+            topology="11:5", router="adaptive", load=0.4,
+            inject_window=16, faults="n2,l0-1@9",
+        )
+        assert run_point(spec) == run_point(spec)
+
+    def test_eager_fault_validation(self):
+        with pytest.raises(ValueError, match="fault token"):
+            run_sweep(["Q:3"], faults=("bogus",))
+        with pytest.raises(ValueError, match="out of range"):
+            run_sweep(["Q:3"], faults=("n99",))
 
 
 class TestRunSweep:
@@ -141,6 +223,33 @@ class TestSweepCli:
         assert {r["pattern"] for r in rows} == {
             "uniform", "transpose", "tornado", "hotspot"
         }
+
+    def test_faults_axis_cli(self, tmp_path, capsys):
+        csv_path = tmp_path / "degradation.csv"
+        rc = main([
+            "sweep",
+            "--topo", "11:5",
+            "--routers", "adaptive",
+            "--patterns", "uniform",
+            "--loads", "0.2,0.5",
+            "--faults", "rand2s3",
+            "--window", "16",
+            "--csv", str(csv_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults[rand2s3]" in out
+        with open(csv_path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert {r["faults"] for r in rows} == {"rand2s3"}
+        assert {r["num_faults"] for r in rows} == {"2"}
+        assert "dropped" in rows[0] and "misroutes" in rows[0]
+
+    def test_bad_fault_spec_is_a_clean_error(self, capsys):
+        rc = main(["sweep", "--topo", "Q:3", "--faults", "wat"])
+        assert rc == 2
+        assert "fault token" in capsys.readouterr().err
 
     def test_json_output(self, tmp_path, capsys):
         json_path = tmp_path / "r.json"

@@ -3,14 +3,24 @@
 The vectorized simulator is only allowed to be *faster*, never
 *different*: over seeded traffic from every pattern, on the Fibonacci
 cube, the hypercube and a faulted topology, both engines must produce
-the same ``SimResult`` field for field -- latencies (per packet, in
-injection order), cycle count, throughput and max queue depth.
+the same ``SimResult`` field for field -- latencies and hop counts (per
+packet, in injection order), cycle count, throughput, drop/misroute
+counters and max queue depth.  The faulted scenarios exercise the
+dynamic model end to end: static and staged node/link failures, under
+fault-aware and fault-oblivious routers alike.
 """
 
 import pytest
 
 from repro.cubes.hypercube import hypercube
-from repro.network.routing import BfsRouter, CanonicalRouter, GreedyRouter, RouteTable
+from repro.network.faults import FaultPlan
+from repro.network.routing import (
+    AdaptiveRouter,
+    BfsRouter,
+    CanonicalRouter,
+    GreedyRouter,
+    RouteTable,
+)
 from repro.network.simulator import (
     NetworkSimulator,
     ReferenceSimulator,
@@ -29,6 +39,17 @@ def _topologies():
 
 
 TOPOLOGIES = _topologies()
+
+
+def _fault_plans(topo):
+    """Two plans valid on any of the test topologies: everything failed
+    up front, and failures striking while traffic is in flight."""
+    u, v = next(iter(topo.graph.edges()))
+    n = topo.num_nodes
+    return {
+        "static": FaultPlan(node_faults=((0, 2 % n),), link_faults=((0, u, v),)),
+        "staged": FaultPlan(node_faults=((4, 3 % n),), link_faults=((9, u, v),)),
+    }
 
 
 @pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
@@ -52,6 +73,59 @@ def test_engines_agree_under_cycle_cap(topo_name):
         vec = VectorizedSimulator(topo).run(traffic, max_cycles=cap)
         assert ref == vec, cap
         assert ref.cycles <= cap
+
+
+@pytest.mark.parametrize("topo_name", ["fibonacci", "hypercube", "faulted"])
+@pytest.mark.parametrize("plan_name", ["static", "staged"])
+@pytest.mark.parametrize(
+    "make_router", [AdaptiveRouter, BfsRouter, CanonicalRouter],
+    ids=["adaptive", "bfs", "canonical"],
+)
+def test_engines_agree_under_faults(topo_name, plan_name, make_router):
+    """The acceptance grid: >= 3 topologies x 2 fault plans x 3 routers,
+    bit-identical SimResults including drop/misroute counters."""
+    topo = TOPOLOGIES[topo_name]
+    plan = _fault_plans(topo)[plan_name]
+    router = make_router()
+    for pattern, seed in (("uniform", 1), ("hotspot", 3)):
+        traffic = make_traffic(pattern, topo, 200, 12, seed=seed)
+        ref = ReferenceSimulator(topo, router).run(traffic, faults=plan)
+        vec = VectorizedSimulator(topo, router).run(traffic, faults=plan)
+        assert ref == vec, (topo_name, plan_name, router.name, pattern)
+        assert ref.delivered + ref.dropped <= ref.injected
+
+
+def test_engines_agree_under_faults_with_cycle_cap():
+    topo = TOPOLOGIES["fibonacci"]
+    plan = _fault_plans(topo)["staged"]
+    traffic = make_traffic("hotspot", topo, 200, 1, seed=3)
+    for cap in (1, 5, 23):
+        ref = ReferenceSimulator(topo, AdaptiveRouter()).run(
+            traffic, max_cycles=cap, faults=plan
+        )
+        vec = VectorizedSimulator(topo, AdaptiveRouter()).run(
+            traffic, max_cycles=cap, faults=plan
+        )
+        assert ref == vec, cap
+        assert ref.cycles <= cap
+
+
+def test_faults_and_route_table_are_mutually_exclusive():
+    topo = TOPOLOGIES["hypercube"]
+    plan = _fault_plans(topo)["static"]
+    traffic = make_traffic("uniform", topo, 50, 5, seed=0)
+    table = BfsRouter().build_table(topo, [(s, d) for _, s, d in traffic])
+    for sim in (ReferenceSimulator(topo), VectorizedSimulator(topo)):
+        with pytest.raises(ValueError, match="route_table or faults"):
+            sim.run(traffic, route_table=table, faults=plan)
+
+
+def test_empty_fault_plan_is_a_no_op():
+    topo = TOPOLOGIES["fibonacci"]
+    traffic = make_traffic("uniform", topo, 150, 10, seed=4)
+    plain = VectorizedSimulator(topo).run(traffic)
+    empty = VectorizedSimulator(topo).run(traffic, faults=FaultPlan())
+    assert plain == empty
 
 
 def test_engines_agree_with_droppy_router():
