@@ -17,8 +17,10 @@ Subcommands
     Verify the Section 8 :math:`\\Theta^*`-ladder of :math:`Q_D(101)`.
 ``gfc sweep``
     Saturation-curve sweeps over (topology x router x pattern x faults
-    x load) grids on the vectorized network simulator, with CSV/JSON
-    output; ``--faults`` adds fault-plan axes for degradation curves.
+    x switching x load) grids on the vectorized network simulator, with
+    CSV/JSON output; ``--faults`` adds fault-plan axes for degradation
+    curves, ``--switching/--vcs/--buffer/--flits`` sweep the wormhole /
+    virtual-cut-through flow-control configurations.
 
 Installed both as ``gfc`` and as ``repro``.
 """
@@ -119,6 +121,27 @@ def build_parser() -> argparse.ArgumentParser:
              "always included unless given explicitly)",
     )
     p_swp.add_argument(
+        "--switching", default="sf",
+        help="comma-separated switching modes: sf, wormhole, vct "
+             "(default: %(default)s); sf is the single-flit infinite-FIFO "
+             "store-and-forward baseline",
+    )
+    p_swp.add_argument(
+        "--vcs", default="1",
+        help="comma-separated virtual-channel counts per link "
+             "(wormhole/vct only; default: %(default)s)",
+    )
+    p_swp.add_argument(
+        "--buffer", default="4",
+        help="comma-separated per-(link, VC) buffer depths in flits "
+             "(wormhole/vct only; default: %(default)s)",
+    )
+    p_swp.add_argument(
+        "--flits", default="1",
+        help="comma-separated packet-size specs, '<n>' or '<lo>-<hi>' "
+             "flits per packet (wormhole/vct only; default: %(default)s)",
+    )
+    p_swp.add_argument(
         "--window", type=int, default=64,
         help="injection window in cycles (default: %(default)s)",
     )
@@ -180,6 +203,10 @@ def _cmd_sweep(args) -> int:
             routers=[r for r in args.routers.split(",") if r],
             seeds=[int(s) for s in args.seeds.split(",") if s],
             faults=args.faults if args.faults else ("",),
+            switching=[s for s in args.switching.split(",") if s],
+            vcs=[int(v) for v in args.vcs.split(",") if v],
+            buffers=[int(b) for b in args.buffer.split(",") if b],
+            flits=[f for f in args.flits.split(",") if f],
             inject_window=args.window,
             max_cycles=args.max_cycles,
             processes=args.processes,
@@ -190,19 +217,21 @@ def _cmd_sweep(args) -> int:
     header = (
         f"{'topology':>12} {'router':>9} {'pattern':>12} {'load':>6} "
         f"{'avg lat':>8} {'p95':>7} {'thruput':>8} {'deliv':>6} "
-        f"{'drop':>6} {'maxq':>5}"
+        f"{'drop':>6} {'stall':>6} {'dlock':>5} {'maxq':>5}"
     )
-    for (topo, router, pattern, faults), curve in sorted(
+    for (topo, router, pattern, faults, flow), curve in sorted(
         saturation_curves(records).items()
     ):
         tag = f" / faults[{faults}]" if faults else ""
+        tag += f" / {flow}" if flow else ""
         print(f"-- {topo} / {router} / {pattern}{tag}")
         print(header)
         for r in curve:
             print(
                 f"{r.topology:>12} {r.router:>9} {r.pattern:>12} {r.load:>6.2f} "
                 f"{r.avg_latency:>8.2f} {r.p95_latency:>7.1f} {r.throughput:>8.3f} "
-                f"{r.delivery_rate:>6.3f} {r.dropped:>6.1f} {r.max_queue:>5}"
+                f"{r.delivery_rate:>6.3f} {r.dropped:>6.1f} {r.stalled:>6.1f} "
+                f"{r.deadlock_rate:>5.2f} {r.max_queue:>5}"
             )
     if args.csv:
         write_csv(records, args.csv)

@@ -18,6 +18,10 @@ generalized Fibonacci cube:
   metrics need no silicon, but the simulator lets us measure latency
   under contention); the vectorized engine advances whole cycles with
   NumPy array operations, the reference engine is the per-packet spec;
+- :mod:`repro.network.flowcontrol` -- finite-buffer flow control for
+  both engines: multi-flit packets, wormhole / virtual cut-through
+  switching, virtual channels with dimension-ordered assignment, credit
+  backpressure and *detected* (never hung) deadlock;
 - :mod:`repro.network.traffic` -- seeded, topology-aware traffic pattern
   library (uniform, permutation, transpose, bit-reversal, tornado,
   hotspot, bursty);
@@ -47,6 +51,12 @@ from repro.network.broadcast import (
     broadcast_rounds,
     verify_schedule,
 )
+from repro.network.flowcontrol import (
+    SWITCHING_MODES,
+    FlowControl,
+    link_dimension,
+    vc_of_hop,
+)
 from repro.network.simulator import (
     NetworkSimulator,
     ReferenceSimulator,
@@ -58,6 +68,7 @@ from repro.network.traffic import (
     PATTERNS,
     bit_reversal_traffic,
     bursty_traffic,
+    flit_sizes,
     hotspot_traffic,
     make_traffic,
     permutation_traffic,
@@ -69,6 +80,7 @@ from repro.network.sweep import (
     PointSpec,
     ROUTERS,
     SweepRecord,
+    flow_tag,
     nearest_rank_p95,
     parse_topology,
     run_point,
@@ -94,6 +106,12 @@ __all__ = [
     "Topology",
     "topology_of",
     "faulted_topology",
+    "FlowControl",
+    "SWITCHING_MODES",
+    "flit_sizes",
+    "flow_tag",
+    "link_dimension",
+    "vc_of_hop",
     "AdaptiveRouter",
     "BfsRouter",
     "CanonicalRouter",

@@ -1,0 +1,655 @@
+"""Flow control: multi-flit packets, finite buffers, wormhole and VCT.
+
+The ICPP'93 lineage judged Fibonacci cubes as *interconnection networks*,
+and the decisive phenomena there are finite buffers, backpressure and
+deadlock -- none of which an infinite-FIFO store-and-forward model can
+express.  This module adds the missing layer:
+
+- :class:`FlowControl` -- the switching configuration both simulator
+  engines accept: ``"sf"`` (the legacy infinite-FIFO store-and-forward
+  loop, bit-identical to the pre-flow-control engines), ``"wormhole"``
+  and ``"vct"`` (virtual cut-through);
+- packets become **multi-flit**: each traffic triple carries a flit
+  count (see :func:`repro.network.traffic.flit_sizes`), a packet's flits
+  pipeline over consecutive links, and a blocked wormhole packet keeps
+  holding every buffer its flits sit in -- the hold-and-wait that makes
+  Dally--Seitz channel-dependency cycles *operational*;
+- per-(channel, virtual-channel) buffers are **finite**
+  (``buffer_depth`` flits); a flit advances only into buffer space, so
+  congestion propagates backwards as credit stalls;
+- ``num_vcs`` **virtual channels** per physical link; VC assignment
+  follows the router's dimension order (the VC of a hop is the flipped
+  bit position modulo ``num_vcs`` on word-addressed topologies), so
+  dimension-ordered routing keeps an acyclic extended channel-dependency
+  graph while an arbitrary shortest-path router can genuinely deadlock;
+- **deadlock detection**: a cycle in which no flit can move and no
+  future event (injection or scheduled fault) can unblock the network
+  ends the run with ``SimResult.deadlocked = True`` and the stuck
+  packets counted in ``SimResult.stalled`` -- reported, never hung.
+
+Model (shared by both engines, bit-identically)
+-----------------------------------------------
+A packet with flits ``f_1 .. f_F`` and route channels ``c_1 .. c_k``
+(channel = directed link, buffer at the upstream node) moves under these
+rules, all decided from start-of-cycle state and applied simultaneously:
+
+- **atomic VC allocation**: a ``(channel, vc)`` buffer is held by at
+  most one packet at a time, from the cycle its head flit enters until
+  its tail flit leaves;
+- each *physical* link transfers at most one flit per cycle; among its
+  occupied VCs the one whose holder has the smallest packet id (oldest
+  injection) and a movable front flit wins the link;
+- a **head** flit advances iff the next hop's buffer is free (for
+  ``vct`` the buffer must fit the whole packet, checked up front); a
+  **body** flit advances iff the next hop's buffer -- already held by
+  its packet -- has space; flits exit freely at the destination;
+- competing head flits (including injections) claiming the same free
+  buffer are arbitrated by smallest packet id; losers stall in place;
+- injection moves one flit per packet per cycle from the source into
+  the first channel's buffer, under the same allocation/space rules;
+- a link that dies (:class:`~repro.network.faults.FaultPlan`) drops
+  *every flit of every packet holding one of its buffers*: the whole
+  packet is removed from the network and counted in ``dropped``.
+
+Latency convention: entering the injection buffer costs one cycle, so an
+uncontended ``k``-hop, ``F``-flit packet delivers with latency
+``k + F`` (store-and-forward: ``k`` with its single-flit packets).
+
+Both engines -- :func:`reference_flow_run`, the readable per-packet
+spec, and :func:`vectorized_flow_run`, the array engine -- implement
+exactly these rules and must produce bit-identical outcomes; the
+equivalence suite enforces it across topologies, switching modes,
+routers and fault plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.network.faults import _NEVER
+from repro.network.topology import Topology
+
+__all__ = [
+    "FlowControl",
+    "FlowOutcome",
+    "SWITCHING_MODES",
+    "link_dimension",
+    "reference_flow_run",
+    "vc_of_hop",
+    "vectorized_flow_run",
+]
+
+SWITCHING_MODES = ("sf", "wormhole", "vct")
+
+
+@dataclass(frozen=True)
+class FlowControl:
+    """Switching configuration for a simulation run.
+
+    ``switching="sf"`` selects the legacy store-and-forward loop
+    (infinite FIFOs, single-flit packets, bit-identical to the engines
+    before flow control existed); ``buffer_depth`` and ``num_vcs`` are
+    ignored there.  ``"wormhole"`` and ``"vct"`` enable the finite-buffer
+    pipelined model described in the module docstring.
+    """
+
+    switching: str = "sf"
+    buffer_depth: int = 4
+    num_vcs: int = 1
+
+    def __post_init__(self):
+        if self.switching not in SWITCHING_MODES:
+            raise ValueError(
+                f"unknown switching mode {self.switching!r}; "
+                f"choose from {SWITCHING_MODES}"
+            )
+        if self.buffer_depth < 1:
+            raise ValueError(
+                f"buffer_depth must be at least 1 flit, got {self.buffer_depth}"
+            )
+        if self.num_vcs < 1:
+            raise ValueError(f"num_vcs must be at least 1, got {self.num_vcs}")
+
+    @property
+    def pipelined(self) -> bool:
+        """True for the finite-buffer modes (wormhole / vct)."""
+        return self.switching != "sf"
+
+    def label(self) -> str:
+        """Compact tag for sweep records and curve keys (``""`` for sf)."""
+        if not self.pipelined:
+            return ""
+        return f"{self.switching}:v{self.num_vcs}:b{self.buffer_depth}"
+
+
+def link_dimension(topo: Topology, u: int, v: int) -> Optional[int]:
+    """The cube dimension of link ``(u, v)``: the first position where the
+    two word addresses differ, or ``None`` off word-addressed topologies."""
+    if topo.word_length is None:
+        return None
+    wu, wv = topo.node_word(u), topo.node_word(v)
+    for i, (a, b) in enumerate(zip(wu, wv)):
+        if a != b:
+            return i
+    return None
+
+
+def vc_of_hop(topo: Topology, u: int, v: int, hop: int, num_vcs: int) -> int:
+    """Deterministic VC assignment for hop ``hop`` (0-based) over ``(u, v)``.
+
+    On word-addressed topologies the VC follows the router's dimension
+    order -- the flipped bit position modulo ``num_vcs`` -- so
+    dimension-ordered routing visits VCs in a fixed total order and its
+    extended channel-dependency graph stays acyclic.  Elsewhere the hop
+    index stands in for the dimension.
+    """
+    if num_vcs == 1:
+        return 0
+    dim = link_dimension(topo, u, v)
+    return (hop if dim is None else dim) % num_vcs
+
+
+def resolve_flits(
+    flits: Union[int, Sequence[int]], num_packets: int
+) -> np.ndarray:
+    """Per-packet flit counts aligned with the traffic list as given."""
+    if isinstance(flits, (int, np.integer)):
+        arr = np.full(num_packets, int(flits), dtype=np.int64)
+    else:
+        arr = np.asarray(list(flits), dtype=np.int64)
+        if arr.shape != (num_packets,):
+            raise ValueError(
+                f"flits sequence has {arr.size} entries for "
+                f"{num_packets} traffic triples"
+            )
+    if arr.size and int(arr.min()) < 1:
+        raise ValueError("every packet needs at least 1 flit")
+    return arr
+
+
+class FlowOutcome(NamedTuple):
+    """Raw outcome of a flow-controlled cycle loop (one per engine run);
+    the simulator layer turns it into a :class:`SimResult`."""
+
+    cycles: int
+    delivered_at: np.ndarray  # per routed packet, -1 when undelivered
+    max_queue: int
+    dropped_in_flight: int
+    stalled: int
+    deadlocked: bool
+
+
+def _validate_vct(flow: FlowControl, nf: np.ndarray) -> None:
+    if flow.switching == "vct" and nf.size:
+        biggest = int(nf.max())
+        if biggest > flow.buffer_depth:
+            raise ValueError(
+                "virtual cut-through needs buffers that fit whole packets: "
+                f"largest packet is {biggest} flits, buffer_depth is "
+                f"{flow.buffer_depth}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Reference engine: the per-packet executable specification
+# ---------------------------------------------------------------------------
+
+
+def reference_flow_run(
+    topo: Topology,
+    flow: FlowControl,
+    routes: List[List[int]],
+    inject: List[int],
+    nf_list: List[int],
+    link_dead: Dict[Tuple[int, int], int],
+    max_cycles: int,
+) -> FlowOutcome:
+    """Run the wormhole/VCT cycle loop over resolved routes (the spec).
+
+    ``routes[p]`` is the node sequence of packet ``p`` (packets are in
+    injection order), ``nf_list[p]`` its flit count.  Plain dicts and
+    lists throughout -- this function *is* the semantics; the array
+    engine must reproduce it bit for bit.
+    """
+    num = len(routes)
+    nf = np.asarray(nf_list, dtype=np.int64)
+    _validate_vct(flow, nf)
+    V, B = flow.num_vcs, flow.buffer_depth
+    k = [len(r) - 1 for r in routes]
+    # ext channel of hop i (1-based): (u, v, vc)
+    exts: List[List[Tuple[int, int, int]]] = []
+    for p, route in enumerate(routes):
+        exts.append(
+            [
+                (u, v, vc_of_hop(topo, u, v, h, V))
+                for h, (u, v) in enumerate(zip(route, route[1:]))
+            ]
+        )
+
+    head = [0] * num          # 0 = at source, i = in channel i, k+1 = exited
+    srcf = [int(f) for f in nf]   # flits still at the source
+    tailb = [0] * num         # hop of the rearmost in-network flit
+    delivered_at = np.full(num, -1, dtype=np.int64)
+
+    holder: Dict[Tuple[int, int, int], int] = {}
+    occ: Dict[Tuple[int, int, int], int] = {}
+    hopb: Dict[Tuple[int, int, int], int] = {}
+
+    injecting: List[int] = []
+    next_pid = 0
+    delivered_n = 0
+    dropped_n = 0
+    max_queue = 0
+    last_busy = -1
+    deadlocked = False
+    cycle = 0
+    work_left = True
+    while cycle < max_cycles:
+        moved = False
+        # 1. dying links take down every packet holding one of their buffers
+        if link_dead:
+            victims = sorted(
+                {
+                    p
+                    for (u, v, _), p in holder.items()
+                    if link_dead.get((u, v), _NEVER) <= cycle
+                }
+            )
+            if victims:
+                vset = set(victims)
+                for ext in [e for e, p in holder.items() if p in vset]:
+                    del holder[ext], occ[ext], hopb[ext]
+                for p in victims:
+                    srcf[p] = 0
+                dropped_n += len(victims)
+                moved = True
+        # 2. arrivals whose injection cycle has come
+        while next_pid < num and inject[next_pid] <= cycle:
+            p = next_pid
+            next_pid += 1
+            if k[p] == 0:
+                delivered_at[p] = inject[p]
+                delivered_n += 1
+                moved = True
+            else:
+                injecting.append(p)
+        injecting = [p for p in injecting if srcf[p] > 0]
+        # 3. network candidates: per physical link, the movable front flit
+        #    of the occupied VC whose holder is oldest (smallest pid)
+        by_phys: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
+        for ext, p in holder.items():
+            if occ[ext] > 0:
+                by_phys.setdefault(ext[:2], []).append(ext)
+        net_moves = []  # (pid, ext, hop, is_head, is_last, is_tail, to_ext)
+        for bufs in by_phys.values():
+            best = None
+            for ext in bufs:
+                p = holder[ext]
+                i = hopb[ext]
+                is_head = head[p] == i
+                is_last = i == k[p]
+                to = None if is_last else exts[p][i]
+                if is_last:
+                    ok = True
+                elif is_head:
+                    ok = to not in holder
+                else:
+                    ok = occ.get(to, 0) < B
+                if ok and (best is None or p < best[0]):
+                    is_tail = srcf[p] == 0 and tailb[p] == i and occ[ext] == 1
+                    best = (p, ext, i, is_head, is_last, is_tail, to)
+            if best is not None:
+                net_moves.append(best)
+        # 4. injection candidates: one flit per waiting packet, pid order
+        inj_moves = []  # (pid, first_ext, is_head_injection)
+        for p in injecting:
+            e1 = exts[p][0]
+            if head[p] == 0:
+                if e1 not in holder:
+                    inj_moves.append((p, e1, True))
+            elif occ.get(e1, 0) < B:
+                inj_moves.append((p, e1, False))
+        # 5. head flits claiming the same free buffer: smallest pid wins
+        claims: Dict[Tuple[int, int, int], int] = {}
+        for p, _, _, is_head, is_last, _, to in net_moves:
+            if is_head and not is_last:
+                claims[to] = min(claims.get(to, p), p)
+        for p, e1, is_head in inj_moves:
+            if is_head:
+                claims[e1] = min(claims.get(e1, p), p)
+        net_moves = [
+            m
+            for m in net_moves
+            if not (m[3] and not m[4]) or claims[m[6]] == m[0]
+        ]
+        inj_moves = [m for m in inj_moves if not m[2] or claims[m[1]] == m[0]]
+        # 6. apply every surviving move simultaneously
+        recv = []
+        for p, ext, i, is_head, is_last, is_tail, to in net_moves:
+            occ[ext] -= 1
+            if is_tail:
+                del holder[ext], occ[ext], hopb[ext]
+                if not is_last:
+                    tailb[p] = i + 1
+            if is_head:
+                if is_last:
+                    head[p] = k[p] + 1
+                else:
+                    holder[to] = p
+                    occ[to] = occ.get(to, 0) + 1
+                    hopb[to] = i + 1
+                    head[p] = i + 1
+                    recv.append(to)
+            elif not is_last:
+                occ[to] += 1
+                recv.append(to)
+            if is_last and is_tail:
+                delivered_at[p] = cycle + 1
+                delivered_n += 1
+            moved = True
+        for p, e1, is_head in inj_moves:
+            srcf[p] -= 1
+            if is_head:
+                holder[e1] = p
+                occ[e1] = occ.get(e1, 0) + 1
+                hopb[e1] = 1
+                head[p] = 1
+            else:
+                occ[e1] += 1
+            if srcf[p] == 0:
+                tailb[p] = 1
+            recv.append(e1)
+            moved = True
+        for ext in recv:
+            if occ.get(ext, 0) > max_queue:
+                max_queue = occ[ext]
+        # 7. advance time -- or jump to the next event, or stop
+        if moved:
+            last_busy = cycle
+            cycle += 1
+            continue
+        live = next_pid - delivered_n - dropped_n
+        if live == 0:
+            if next_pid < num:
+                cycle = min(inject[next_pid], max_cycles)
+                continue
+            work_left = False
+            break
+        events = []
+        if next_pid < num:
+            events.append(inject[next_pid])
+        events.extend(c for c in link_dead.values() if c > cycle)
+        if events:
+            cycle = min(min(events), max_cycles)
+            continue
+        deadlocked = True
+        break
+    stalled = num - delivered_n - dropped_n
+    if deadlocked or not (work_left and stalled):
+        cycles = max(last_busy + 1, 1)
+    else:
+        cycles = max(max_cycles, 1)
+    return FlowOutcome(
+        cycles=cycles,
+        delivered_at=delivered_at,
+        max_queue=max_queue,
+        dropped_in_flight=dropped_n,
+        stalled=stalled,
+        deadlocked=deadlocked,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized engine: the same semantics over flat NumPy state
+# ---------------------------------------------------------------------------
+
+
+def vectorized_flow_run(
+    topo: Topology,
+    flow: FlowControl,
+    link_seq: np.ndarray,
+    link_offsets: np.ndarray,
+    link_codes: np.ndarray,
+    first_link_at: np.ndarray,
+    nhops: np.ndarray,
+    inject: np.ndarray,
+    nf: np.ndarray,
+    link_dead: Dict[Tuple[int, int], int],
+    max_cycles: int,
+) -> FlowOutcome:
+    """Array implementation of :func:`reference_flow_run`'s semantics.
+
+    Buffer state lives in flat per-extended-channel arrays (extended
+    channel = physical link id x VC), per-packet state in flat pid
+    arrays; every cycle is a bounded number of NumPy gathers/scatters
+    over the occupied-buffer set.  Outcomes are bit-identical to the
+    reference loop.
+    """
+    num = int(nhops.size)
+    _validate_vct(flow, nf)
+    V, B = flow.num_vcs, flow.buffer_depth
+    n = topo.num_nodes
+    num_links = int(link_seq.max()) + 1 if link_seq.size else 1
+    # VC per route position: dimension order on word topologies, hop
+    # index elsewhere (matches vc_of_hop exactly)
+    if link_seq.size == 0:
+        ext_seq = np.empty(0, dtype=np.int64)
+    elif V == 1:
+        ext_seq = link_seq
+    elif topo.word_length is not None:
+        dim_of_link = np.empty(num_links, dtype=np.int64)
+        for li, code in enumerate(link_codes):
+            u, v = int(code) // n, int(code) % n
+            dim_of_link[li] = link_dimension(topo, u, v)
+        ext_seq = link_seq * V + dim_of_link[link_seq] % V
+    else:
+        seg_lengths = np.diff(link_offsets)
+        pos_within = np.arange(link_seq.size, dtype=np.int64) - np.repeat(
+            link_offsets[:-1], seg_lengths
+        )
+        ext_seq = link_seq * V + pos_within % V
+    num_ext = num_links * V
+    dead_at_ext = None
+    if link_dead:
+        dead_at = np.full(num_links, _NEVER, dtype=np.int64)
+        for (u, v), c in link_dead.items():
+            code = u * n + v
+            li = int(np.searchsorted(link_codes, code))
+            if li < link_codes.size and link_codes[li] == code:
+                dead_at[li] = min(int(dead_at[li]), c)
+        dead_at_ext = np.repeat(dead_at, V)
+
+    holder = np.full(num_ext, -1, dtype=np.int64)
+    occ = np.zeros(num_ext, dtype=np.int64)
+    hopb = np.zeros(num_ext, dtype=np.int64)
+    head = np.zeros(num, dtype=np.int64)
+    srcf = nf.astype(np.int64).copy()
+    tailb = np.zeros(num, dtype=np.int64)
+    delivered_at = np.full(num, -1, dtype=np.int64)
+
+    injecting = np.empty(0, dtype=np.int64)
+    next_pid = 0
+    delivered_n = 0
+    dropped_n = 0
+    max_queue = 0
+    last_busy = -1
+    deadlocked = False
+    cycle = 0
+    work_left = True
+    while cycle < max_cycles:
+        moved = False
+        # 1. dying links drop every packet holding one of their buffers
+        if dead_at_ext is not None:
+            held = holder >= 0
+            slain = held & (dead_at_ext <= cycle)
+            if slain.any():
+                victims = np.unique(holder[slain])
+                victim_bufs = held & np.isin(holder, victims)
+                holder[victim_bufs] = -1
+                occ[victim_bufs] = 0
+                srcf[victims] = 0
+                dropped_n += int(victims.size)
+                moved = True
+        # 2. arrivals
+        if next_pid < num and inject[next_pid] <= cycle:
+            hi = int(np.searchsorted(inject, cycle, side="right"))
+            fresh = np.arange(next_pid, hi, dtype=np.int64)
+            next_pid = hi
+            zero_hop = fresh[nhops[fresh] == 0]
+            if zero_hop.size:
+                delivered_at[zero_hop] = inject[zero_hop]
+                delivered_n += int(zero_hop.size)
+                moved = True
+            injecting = np.concatenate((injecting, fresh[nhops[fresh] > 0]))
+        if injecting.size:
+            injecting = injecting[srcf[injecting] > 0]
+        # 3. network candidates (all reads against start-of-cycle state)
+        e_idx = np.flatnonzero(occ > 0)
+        me = mp = mi = mhead = mlast = mtail = mto = None
+        if e_idx.size:
+            p = holder[e_idx]
+            i = hopb[e_idx]
+            is_last = i == nhops[p]
+            is_head = head[p] == i
+            to = np.full(e_idx.size, -1, dtype=np.int64)
+            nl = ~is_last
+            to[nl] = ext_seq[first_link_at[p[nl]] + i[nl]]
+            down_ok = np.zeros(e_idx.size, dtype=bool)
+            down_ok[nl] = np.where(
+                is_head[nl], holder[to[nl]] == -1, occ[to[nl]] < B
+            )
+            movable = is_last | down_ok
+            cand = np.flatnonzero(movable)
+            if cand.size:
+                # one flit per physical link: oldest holder wins the link
+                phys = e_idx[cand] // V
+                order = np.lexsort((p[cand], phys))
+                cand = cand[order]
+                first = np.ones(cand.size, dtype=bool)
+                first[1:] = phys[order][1:] != phys[order][:-1]
+                sel = cand[first]
+                me = e_idx[sel]
+                mp = p[sel]
+                mi = i[sel]
+                mhead = is_head[sel]
+                mlast = is_last[sel]
+                mto = to[sel]
+                mtail = (srcf[mp] == 0) & (tailb[mp] == mi) & (occ[me] == 1)
+        # 4. injection candidates
+        ip = ie = ih = None
+        if injecting.size:
+            e1 = ext_seq[first_link_at[injecting]]
+            is_head_inj = head[injecting] == 0
+            ok = np.where(is_head_inj, holder[e1] == -1, occ[e1] < B)
+            ip = injecting[ok]
+            ie = e1[ok]
+            ih = is_head_inj[ok]
+        # 5. head flits claiming the same free buffer: smallest pid wins
+        net_claim = me is not None and bool((mhead & ~mlast).any())
+        inj_claim = ip is not None and bool(ih.any())
+        if net_claim or inj_claim:
+            parts_t, parts_p = [], []
+            if net_claim:
+                nc = mhead & ~mlast
+                parts_t.append(mto[nc])
+                parts_p.append(mp[nc])
+            if inj_claim:
+                parts_t.append(ie[ih])
+                parts_p.append(ip[ih])
+            ct = np.concatenate(parts_t)
+            cp = np.concatenate(parts_p)
+            order = np.lexsort((cp, ct))
+            first = np.ones(ct.size, dtype=bool)
+            first[1:] = ct[order][1:] != ct[order][:-1]
+            win_t = ct[order][first]  # sorted unique claim targets ...
+            win_p = cp[order][first]  # ... and their smallest-pid winners
+
+            def won(targets: np.ndarray, pids: np.ndarray) -> np.ndarray:
+                at = np.minimum(
+                    np.searchsorted(win_t, targets), win_t.size - 1
+                )
+                return (win_t[at] == targets) & (win_p[at] == pids)
+
+            if net_claim:
+                # non-claim moves (body flits, exits) target held buffers
+                # or -1, never a claimed free buffer: they always survive
+                keep = ~(mhead & ~mlast) | won(mto, mp)
+                me, mp, mi = me[keep], mp[keep], mi[keep]
+                mhead, mlast, mtail, mto = (
+                    mhead[keep], mlast[keep], mtail[keep], mto[keep]
+                )
+            if inj_claim:
+                keep = ~ih | won(ie, ip)
+                ip, ie, ih = ip[keep], ie[keep], ih[keep]
+        # 6. apply every surviving move simultaneously
+        recv_parts = []
+        if me is not None and me.size:
+            occ[me] -= 1
+            rel = me[mtail]
+            holder[rel] = -1
+            adv_tail = mtail & ~mlast
+            tailb[mp[adv_tail]] = mi[adv_tail] + 1
+            adv = mhead & ~mlast
+            holder[mto[adv]] = mp[adv]
+            hopb[mto[adv]] = mi[adv] + 1
+            head[mp[adv]] = mi[adv] + 1
+            exit_head = mhead & mlast
+            head[mp[exit_head]] = nhops[mp[exit_head]] + 1
+            fwd = mto[~mlast]
+            occ[fwd] += 1
+            done = mp[mlast & mtail]
+            delivered_at[done] = cycle + 1
+            delivered_n += int(done.size)
+            recv_parts.append(fwd)
+            moved = True
+        if ip is not None and ip.size:
+            srcf[ip] -= 1
+            occ[ie] += 1
+            holder[ie[ih]] = ip[ih]
+            hopb[ie[ih]] = 1
+            head[ip[ih]] = 1
+            tail_in = ip[srcf[ip] == 0]
+            tailb[tail_in] = 1
+            recv_parts.append(ie)
+            moved = True
+        if recv_parts:
+            recv = np.concatenate(recv_parts)
+            if recv.size:
+                max_queue = max(max_queue, int(occ[recv].max()))
+        # 7. advance time -- or jump to the next event, or stop
+        if moved:
+            last_busy = cycle
+            cycle += 1
+            continue
+        live = next_pid - delivered_n - dropped_n
+        if live == 0:
+            if next_pid < num:
+                cycle = min(int(inject[next_pid]), max_cycles)
+                continue
+            work_left = False
+            break
+        events = []
+        if next_pid < num:
+            events.append(int(inject[next_pid]))
+        events.extend(c for c in link_dead.values() if c > cycle)
+        if events:
+            cycle = min(min(events), max_cycles)
+            continue
+        deadlocked = True
+        break
+    stalled = num - delivered_n - dropped_n
+    if deadlocked or not (work_left and stalled):
+        cycles = max(last_busy + 1, 1)
+    else:
+        cycles = max(max_cycles, 1)
+    return FlowOutcome(
+        cycles=cycles,
+        delivered_at=delivered_at,
+        max_queue=max_queue,
+        dropped_in_flight=dropped_n,
+        stalled=stalled,
+        deadlocked=deadlocked,
+    )

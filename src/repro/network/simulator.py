@@ -1,18 +1,34 @@
 """Synchronous message-passing network simulator.
 
 This is the hardware substitute declared in DESIGN.md: a cycle-accurate
-(at link granularity) model of a store-and-forward network.
+(at link granularity) model of an interconnection network under three
+switching disciplines -- store-and-forward (the default), wormhole and
+virtual cut-through.
 
 Model
 -----
 - Time advances in discrete cycles.
-- Each directed link ``(u, v)`` carries at most one packet per cycle and
-  has a FIFO queue at its tail.
+- Each directed link ``(u, v)`` carries at most one packet (``sf``) or
+  one flit (wormhole/vct) per cycle and has a FIFO queue/buffer at its
+  tail.
 - A packet follows a precomputed route (any router from
   :mod:`repro.network.routing`); on each cycle every link forwards the
-  head-of-queue packet to the next queue on its route.
+  head of its queue to the next queue on its route.
 - Packets are injected by a traffic pattern: ``(cycle, src, dst)``
-  triples (see :mod:`repro.network.traffic`).
+  triples (see :mod:`repro.network.traffic`), non-negative cycles only.
+
+Switching modes (``run(..., switching=...)``)
+---------------------------------------------
+``"sf"`` is the classic store-and-forward model: single-flit packets,
+unbounded FIFO queues, one whole packet per link per cycle -- exactly
+the original engines, bit for bit.  ``"wormhole"`` and ``"vct"``
+(a :class:`~repro.network.flowcontrol.FlowControl` value selects buffer
+depth and virtual-channel count) switch to the finite-buffer pipelined
+model of :mod:`repro.network.flowcontrol`: multi-flit packets
+(``flits=``), per-(link, VC) buffers of bounded depth, credit
+backpressure, dimension-ordered VC assignment -- and *detected* deadlock
+(``SimResult.deadlocked`` / ``stalled``) when a channel-dependency
+cycle actually bites, instead of a simulation that never terminates.
 
 Two engines implement the *same* deterministic semantics:
 
@@ -60,17 +76,25 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.graphs.traversal import bfs_distances
 from repro.network.faults import _NEVER, FaultPlan
+from repro.network.flowcontrol import (
+    FlowControl,
+    FlowOutcome,
+    reference_flow_run,
+    resolve_flits,
+    vectorized_flow_run,
+)
 from repro.network.routing import BfsRouter, RouteTable
 from repro.network.topology import Topology
 from repro.network.traffic import uniform_traffic
 
 __all__ = [
+    "FlowControl",
     "NetworkSimulator",
     "ReferenceSimulator",
     "SimResult",
@@ -92,7 +116,11 @@ class SimResult:
     beyond the *healthy* topology's graph distance, halved (each detour
     costs two extra hops) -- zero for shortest-path routing on an
     undamaged network, positive when faults (or a suboptimal router)
-    force longer paths.
+    force longer paths.  ``stalled`` counts routed packets that were
+    neither delivered nor dropped when the run ended (always zero for a
+    run that completed); ``deadlocked`` is set when a flow-controlled
+    run (wormhole/vct) reached a state where no flit could ever move
+    again -- detected and reported, never an unterminating simulation.
     """
 
     cycles: int
@@ -103,6 +131,8 @@ class SimResult:
     dropped: int = 0
     misroutes: int = 0
     hops: Tuple[int, ...] = ()
+    stalled: int = 0
+    deadlocked: bool = False
 
     @property
     def avg_latency(self) -> float:
@@ -158,20 +188,57 @@ class _Prepared:
     that order; pairs the router cannot serve are dropped up front and
     only counted in ``injected``.  ``misroutes`` holds one detour count
     per table row; ``link_dead`` maps directed links to the first cycle
-    they stop forwarding (empty without faults).
+    they stop forwarding (empty without faults); ``order`` gives each
+    surviving packet's index into the traffic sequence as passed, so
+    per-packet attributes (flit counts) follow the stable sort.
     """
 
-    __slots__ = ("table", "inject", "row", "num_dropped", "misroutes", "link_dead")
+    __slots__ = ("table", "inject", "row", "num_dropped", "misroutes",
+                 "link_dead", "order")
 
     def __init__(self, table: RouteTable, inject: np.ndarray, row: np.ndarray,
                  num_dropped: int, misroutes: np.ndarray,
-                 link_dead: Dict[Tuple[int, int], int]):
+                 link_dead: Dict[Tuple[int, int], int], order: np.ndarray):
         self.table = table
         self.inject = inject
         self.row = row
         self.num_dropped = num_dropped
         self.misroutes = misroutes
         self.link_dead = link_dead
+        self.order = order
+
+
+def _as_flow(switching: Union[str, FlowControl, None]) -> FlowControl:
+    if switching is None:
+        return FlowControl()
+    if isinstance(switching, FlowControl):
+        return switching
+    return FlowControl(switching=switching)
+
+
+def _flow_result(
+    outcome: FlowOutcome,
+    inject: np.ndarray,
+    nhops: np.ndarray,
+    mis_of: np.ndarray,
+    num_dropped: int,
+) -> SimResult:
+    """Assemble a :class:`SimResult` from a flow-engine outcome (shared
+    by both engines so the aggregation itself cannot diverge)."""
+    mask = outcome.delivered_at >= 0
+    latencies = tuple((outcome.delivered_at[mask] - inject[mask]).tolist())
+    return SimResult(
+        cycles=outcome.cycles,
+        injected=int(nhops.size) + num_dropped,
+        delivered=int(mask.sum()),
+        latencies=latencies,
+        max_queue=outcome.max_queue,
+        dropped=num_dropped + outcome.dropped_in_flight,
+        misroutes=int(mis_of[mask].sum()),
+        hops=tuple(nhops[mask].tolist()),
+        stalled=outcome.stalled,
+        deadlocked=outcome.deadlocked,
+    )
 
 
 def _build_table(topo: Topology, router, pairs) -> RouteTable:
@@ -188,11 +255,17 @@ def _prepare(
     faults: Optional[FaultPlan] = None,
 ) -> _Prepared:
     arr = np.asarray(traffic, dtype=np.int64).reshape(-1, 3)
-    arr = arr[np.argsort(arr[:, 0], kind="stable")]
+    if arr.size and int(arr[:, 0].min()) < 0:
+        raise ValueError(
+            "injection cycles must be non-negative "
+            f"(got {int(arr[:, 0].min())}); both engines count time from 0"
+        )
+    perm = np.argsort(arr[:, 0], kind="stable")
+    arr = arr[perm]
     if faults is not None and faults.num_events:
         if route_table is not None:
             raise ValueError("pass either route_table or faults, not both")
-        return _prepare_faulted(topo, router, arr, faults)
+        return _prepare_faulted(topo, router, arr, faults, perm)
     n = topo.num_nodes
     codes, inverse = np.unique(arr[:, 1] * n + arr[:, 2], return_inverse=True)
     pairs = [(int(c) // n, int(c) % n) for c in codes]
@@ -223,11 +296,13 @@ def _prepare(
         num_dropped=int((~routed).sum()),
         misroutes=mis,
         link_dead={},
+        order=perm[routed],
     )
 
 
 def _prepare_faulted(
-    topo: Topology, router, arr: np.ndarray, faults: FaultPlan
+    topo: Topology, router, arr: np.ndarray, faults: FaultPlan,
+    perm: np.ndarray,
 ) -> _Prepared:
     """Epoch-split preparation: every fault cycle starts a routing epoch.
 
@@ -285,6 +360,7 @@ def _prepare_faulted(
         num_dropped=int((~routed).sum()),
         misroutes=np.asarray(mis, dtype=np.int64),
         link_dead=faults.link_death_map(topo),
+        order=perm[routed],
     )
 
 
@@ -310,6 +386,8 @@ class ReferenceSimulator:
         max_cycles: int = 100000,
         route_table: Optional[RouteTable] = None,
         faults: Optional[FaultPlan] = None,
+        switching: Union[str, FlowControl] = "sf",
+        flits: Union[int, Sequence[int]] = 1,
     ) -> SimResult:
         """Simulate until all deliverable packets arrive (or ``max_cycles``).
 
@@ -322,21 +400,44 @@ class ReferenceSimulator:
         A ``faults`` plan (mutually exclusive with ``route_table``)
         switches to per-epoch fault-masked routing with in-flight drops;
         see the module docstring.
+
+        ``switching`` selects the flow-control discipline -- a mode name
+        or a full :class:`FlowControl` -- and ``flits`` the per-packet
+        flit counts (one int for all, or a sequence aligned with
+        ``traffic``); both only meaningful for wormhole/vct.
         """
+        flow = _as_flow(switching)
+        traffic = list(traffic)
+        flit_arr = resolve_flits(flits, len(traffic))
+        if not flow.pipelined and flit_arr.size and int(flit_arr.max()) > 1:
+            raise ValueError(
+                "store-and-forward is a single-flit model; use "
+                "switching='wormhole' or 'vct' for multi-flit packets"
+            )
         faulted = faults is not None and faults.num_events > 0
         if route_table is None and not faulted:
+            if traffic and min(t[0] for t in traffic) < 0:
+                raise ValueError(
+                    "injection cycles must be non-negative "
+                    f"(got {min(t[0] for t in traffic)}); "
+                    "both engines count time from 0"
+                )
             inject: List[int] = []
             routes: List[List[int]] = []
             mis_of: List[int] = []
+            nf: List[int] = []
             dropped = 0
             dist_cache: Dict[int, np.ndarray] = {}
-            for cycle, src, dst in sorted(traffic, key=lambda t: t[0]):
+            order = sorted(range(len(traffic)), key=lambda j: traffic[j][0])
+            for j in order:
+                cycle, src, dst = traffic[j]
                 path = self.router.route(self.topo, src, dst)
                 if path is None:
                     dropped += 1
                 else:
                     inject.append(cycle)
                     routes.append(path)
+                    nf.append(int(flit_arr[j]))
                     mis_of.append(
                         _misroute_hops(self.topo, dist_cache, src, dst, len(path) - 1)
                     )
@@ -347,7 +448,19 @@ class ReferenceSimulator:
             inject = prep.inject.tolist()
             dropped = prep.num_dropped
             mis_of = [int(prep.misroutes[r]) for r in prep.row]
+            nf = flit_arr[prep.order].tolist()
             link_dead = prep.link_dead
+        if flow.pipelined:
+            outcome = reference_flow_run(
+                self.topo, flow, routes, inject, nf, link_dead, max_cycles
+            )
+            return _flow_result(
+                outcome,
+                np.asarray(inject, dtype=np.int64),
+                np.asarray([len(r) - 1 for r in routes], dtype=np.int64),
+                np.asarray(mis_of, dtype=np.int64),
+                dropped,
+            )
         num = len(routes)
         delivered_at = [-1] * num
         hop = [0] * num
@@ -412,6 +525,7 @@ class ReferenceSimulator:
             dropped=dropped + dropped_in_flight,
             misroutes=misroutes,
             hops=tuple(hops),
+            stalled=remaining - dropped_in_flight,
         )
 
 
@@ -481,12 +595,23 @@ class VectorizedSimulator:
         max_cycles: int = 100000,
         route_table: Optional[RouteTable] = None,
         faults: Optional[FaultPlan] = None,
+        switching: Union[str, FlowControl] = "sf",
+        flits: Union[int, Sequence[int]] = 1,
     ) -> SimResult:
         """Simulate until all deliverable packets arrive (or ``max_cycles``).
 
         Semantics (and results) are identical to
-        :meth:`ReferenceSimulator.run`, fault plans included.
+        :meth:`ReferenceSimulator.run`, fault plans and switching modes
+        included.
         """
+        flow = _as_flow(switching)
+        traffic = list(traffic)
+        flit_arr = resolve_flits(flits, len(traffic))
+        if not flow.pipelined and flit_arr.size and int(flit_arr.max()) > 1:
+            raise ValueError(
+                "store-and-forward is a single-flit model; use "
+                "switching='wormhole' or 'vct' for multi-flit packets"
+            )
         prep = _prepare(self.topo, self.router, traffic, route_table, faults)
         num = len(prep.row)
         if num == 0:
@@ -495,6 +620,17 @@ class VectorizedSimulator:
                 latencies=(), max_queue=0, dropped=prep.num_dropped,
             )
         link_seq, link_offsets, link_codes = self._link_arrays(prep.table)
+        if flow.pipelined:
+            lengths = prep.table.lengths()
+            outcome = vectorized_flow_run(
+                self.topo, flow, link_seq, link_offsets, link_codes,
+                link_offsets[prep.row], lengths[prep.row] - 1, prep.inject,
+                flit_arr[prep.order], prep.link_dead, max_cycles,
+            )
+            return _flow_result(
+                outcome, prep.inject, lengths[prep.row] - 1,
+                prep.misroutes[prep.row], prep.num_dropped,
+            )
         num_links = int(link_seq.max()) + 1 if link_seq.size else 1
         dead_at = None
         if prep.link_dead:
@@ -608,6 +744,7 @@ class VectorizedSimulator:
             dropped=prep.num_dropped + dropped_in_flight,
             misroutes=int(mis_of[mask].sum()),
             hops=tuple(nhops[mask].tolist()),
+            stalled=num - int(mask.sum()) - dropped_in_flight,
         )
 
 

@@ -15,9 +15,13 @@ topology.  This module runs those grids at scale:
   for CSV/JSON dumping or for :func:`saturation_curves` to regroup into
   per-scenario load curves;
 - :func:`saturation_curves` aggregates the seed axis: every
-  (topology, router, pattern, faults, load) cell becomes one
+  (topology, router, pattern, faults, flow, load) cell becomes one
   :class:`CurvePoint` with mean/std over its seeds, so multi-seed grids
-  plot as one curve with error bars instead of interleaved replicas.
+  plot as one curve with error bars instead of interleaved replicas;
+- the flow-control axes (``switching`` / ``vcs`` / ``buffers`` /
+  ``flits``) sweep the wormhole / virtual-cut-through configurations of
+  :mod:`repro.network.flowcontrol`, with per-point ``stalled`` /
+  ``deadlocked`` columns carrying the deadlock story.
 
 Offered load is normalised: ``load`` is packets per node per cycle over
 the injection window, so ``num_packets = round(load * nodes * window)``
@@ -41,6 +45,7 @@ from statistics import fmean, pstdev
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.network.faults import FaultPlan
+from repro.network.flowcontrol import SWITCHING_MODES, FlowControl
 from repro.network.routing import (
     AdaptiveRouter,
     BfsRouter,
@@ -50,13 +55,14 @@ from repro.network.routing import (
 )
 from repro.network.simulator import VectorizedSimulator
 from repro.network.topology import Topology, topology_of
-from repro.network.traffic import PATTERNS, make_traffic
+from repro.network.traffic import PATTERNS, flit_sizes, make_traffic
 
 __all__ = [
     "CurvePoint",
     "PointSpec",
     "ROUTERS",
     "SweepRecord",
+    "flow_tag",
     "nearest_rank_p95",
     "parse_topology",
     "run_point",
@@ -75,14 +81,16 @@ ROUTERS: Dict[str, Callable[[], object]] = {
 }
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=64)
 def parse_topology(spec: str) -> Topology:
     """Build a topology from a compact spec string.
 
     ``"Q:7"`` (or ``"hypercube:7"``) is the hypercube :math:`Q_7`;
     ``"11:7"`` is the generalized Fibonacci cube :math:`Q_7(11)` --
-    any avoided factor works, e.g. ``"101:8"``.  Cached per process, so
-    sweep workers amortise construction across their points.
+    any avoided factor works, e.g. ``"101:8"``.  Cached per process
+    (LRU, bounded -- a long-running sweep service touching many specs
+    must not retain every topology it has ever built), so workers still
+    amortise construction across their points.
     """
     name, sep, dim = spec.partition(":")
     if not sep:
@@ -119,7 +127,13 @@ def nearest_rank_p95(latencies: Sequence[int]) -> float:
 
 @dataclass(frozen=True)
 class PointSpec:
-    """One picklable grid point (names and spec strings, not objects)."""
+    """One picklable grid point (names and spec strings, not objects).
+
+    ``switching``/``num_vcs``/``buffer_depth``/``flits`` select the
+    flow-control configuration; store-and-forward points are normalised
+    to ``num_vcs=1, buffer_depth=0, flits="1"`` (unbounded FIFOs,
+    single-flit packets) so duplicate grid points collapse.
+    """
 
     topology: str
     router: str = "bfs"
@@ -129,6 +143,10 @@ class PointSpec:
     inject_window: int = 64
     max_cycles: int = 100000
     faults: str = ""
+    switching: str = "sf"
+    num_vcs: int = 1
+    buffer_depth: int = 0
+    flits: str = "1"
 
 
 @dataclass(frozen=True)
@@ -142,11 +160,17 @@ class SweepRecord:
     seed: int
     faults: str
     num_faults: int
+    switching: str
+    num_vcs: int
+    buffer_depth: int
+    flits: str
     nodes: int
     injected: int
     delivered: int
     dropped: int
     misroutes: int
+    stalled: int
+    deadlocked: bool
     cycles: int
     max_queue: int
     avg_latency: float
@@ -175,8 +199,24 @@ def run_point(spec: PointSpec) -> SweepRecord:
         spec.pattern, topo, num_packets, spec.inject_window, seed=spec.seed,
         faults=plan,
     )
+    pipelined = spec.switching != "sf"
+    if pipelined:
+        flow = FlowControl(
+            switching=spec.switching,
+            buffer_depth=spec.buffer_depth,
+            num_vcs=spec.num_vcs,
+        )
+        sizes = flit_sizes(len(traffic), spec.flits, seed=spec.seed)
+    else:
+        if spec.switching not in SWITCHING_MODES:
+            raise ValueError(
+                f"unknown switching mode {spec.switching!r}; "
+                f"choose from {SWITCHING_MODES}"
+            )
+        flow, sizes = "sf", 1
     result = VectorizedSimulator(topo, router).run(
-        traffic, max_cycles=spec.max_cycles, faults=plan
+        traffic, max_cycles=spec.max_cycles, faults=plan,
+        switching=flow, flits=sizes,
     )
     return SweepRecord(
         topology=topo.name,
@@ -186,11 +226,17 @@ def run_point(spec: PointSpec) -> SweepRecord:
         seed=spec.seed,
         faults=spec.faults,
         num_faults=plan.num_events if plan is not None else 0,
+        switching=spec.switching,
+        num_vcs=spec.num_vcs if pipelined else 1,
+        buffer_depth=spec.buffer_depth if pipelined else 0,
+        flits=spec.flits if pipelined else "1",
         nodes=topo.num_nodes,
         injected=result.injected,
         delivered=result.delivered,
         dropped=result.dropped,
         misroutes=result.misroutes,
+        stalled=result.stalled,
+        deadlocked=result.deadlocked,
         cycles=result.cycles,
         max_queue=result.max_queue,
         avg_latency=result.avg_latency,
@@ -208,17 +254,26 @@ def run_sweep(
     routers: Sequence[str] = ("bfs",),
     seeds: Sequence[int] = (0,),
     faults: Sequence[str] = ("",),
+    switching: Sequence[str] = ("sf",),
+    vcs: Sequence[int] = (1,),
+    buffers: Sequence[int] = (4,),
+    flits: Sequence[str] = ("1",),
     inject_window: int = 64,
     max_cycles: int = 100000,
     processes: int = 1,
 ) -> List[SweepRecord]:
-    """Run the full (topology x router x pattern x faults x load x seed) grid.
+    """Run the (topology x router x pattern x faults x switching x vcs x
+    buffers x flits x load x seed) grid.
 
     ``faults`` is a sequence of fault-plan spec strings (``""`` = the
     unfaulted baseline), so one call produces degradation curves.
-    ``processes > 1`` distributes points over a multiprocessing pool;
-    specs are validated eagerly (unknown names and impossible fault
-    plans raise before any worker starts).
+    ``switching``/``vcs``/``buffers``/``flits`` sweep the flow-control
+    configuration; ``"sf"`` points ignore the latter three axes (their
+    specs are normalised, so a mixed grid never re-runs the same
+    store-and-forward point).  ``processes > 1`` distributes points over
+    a multiprocessing pool; specs are validated eagerly (unknown names,
+    impossible fault plans and bad flit specs raise before any worker
+    starts).
     """
     for p in patterns:
         if p not in PATTERNS:
@@ -226,39 +281,78 @@ def run_sweep(
     for r in routers:
         if r not in ROUTERS:
             raise ValueError(f"unknown router {r!r}; choose from {sorted(ROUTERS)}")
+    for sw in switching:
+        if sw not in SWITCHING_MODES:
+            raise ValueError(
+                f"unknown switching mode {sw!r}; choose from {SWITCHING_MODES}"
+            )
+        if sw != "sf":
+            for v in vcs:
+                for b in buffers:
+                    FlowControl(switching=sw, buffer_depth=b, num_vcs=v)
+    for fl in flits:
+        flit_sizes(0, fl)  # raises on a bad spec
     for t in topologies:
         topo = parse_topology(t)  # raises on a bad spec before any point runs
         for f in faults:
             if f:
                 FaultPlan.parse(f, num_nodes=topo.num_nodes).validate(topo)
-    specs = [
+    specs = list(dict.fromkeys(
         PointSpec(
             topology=t, router=r, pattern=p, load=ld, seed=s, faults=f,
+            switching=sw,
+            num_vcs=v if sw != "sf" else 1,
+            buffer_depth=b if sw != "sf" else 0,
+            flits=fl if sw != "sf" else "1",
             inject_window=inject_window, max_cycles=max_cycles,
         )
         for t in topologies
         for r in routers
         for p in patterns
         for f in faults
+        for sw in switching
+        for v in vcs
+        for b in buffers
+        for fl in flits
         for ld in loads
         for s in seeds
-    ]
+    ))
     if processes > 1 and len(specs) > 1:
         with multiprocessing.Pool(processes) as pool:
             return pool.map(run_point, specs)
     return [run_point(s) for s in specs]
 
 
+def flow_tag(rec: SweepRecord) -> str:
+    """The flow-control axis of a curve key: ``""`` for store-and-forward,
+    ``"wormhole:v2:b4:f1-8"``-style (:meth:`FlowControl.label` plus the
+    flit spec) for the pipelined modes."""
+    if rec.switching == "sf":
+        return ""
+    flow = FlowControl(
+        switching=rec.switching,
+        buffer_depth=rec.buffer_depth,
+        num_vcs=rec.num_vcs,
+    )
+    return f"{flow.label()}:f{rec.flits}"
+
+
 @dataclass(frozen=True)
 class CurvePoint:
     """One aggregated saturation-curve point: every seed of one
-    (topology, router, pattern, faults, load) cell condensed to mean/std
-    (population std; zero for single-seed cells)."""
+    (topology, router, pattern, faults, flow) cell condensed to mean/std
+    (population std; zero for single-seed cells).  ``deadlock_rate`` is
+    the fraction of seeds whose run deadlocked; ``stalled`` the mean
+    stuck-packet count."""
 
     topology: str
     router: str
     pattern: str
     faults: str
+    switching: str
+    num_vcs: int
+    buffer_depth: int
+    flits: str
     load: float
     seeds: int
     avg_latency: float
@@ -271,22 +365,28 @@ class CurvePoint:
     max_queue: int
     dropped: float
     misroutes: float
+    stalled: float
+    deadlock_rate: float
 
 
 def saturation_curves(
     records: Sequence[SweepRecord],
-) -> Dict[Tuple[str, str, str, str], List[CurvePoint]]:
-    """Regroup records into per-(topology, router, pattern, faults) load
-    curves, sorted by offered load (the saturation-curve x axis).
+) -> Dict[Tuple[str, str, str, str, str], List[CurvePoint]]:
+    """Regroup records into per-(topology, router, pattern, faults, flow)
+    load curves, sorted by offered load (the saturation-curve x axis).
 
     Multi-seed cells aggregate into one :class:`CurvePoint` per load
-    instead of interleaving seed replicas along the curve.
+    instead of interleaving seed replicas along the curve; the fifth key
+    element is :func:`flow_tag`'s switching-configuration string (``""``
+    for plain store-and-forward).
     """
-    cells: Dict[Tuple[str, str, str, str], Dict[float, List[SweepRecord]]] = {}
+    cells: Dict[
+        Tuple[str, str, str, str, str], Dict[float, List[SweepRecord]]
+    ] = {}
     for rec in records:
-        key = (rec.topology, rec.router, rec.pattern, rec.faults)
+        key = (rec.topology, rec.router, rec.pattern, rec.faults, flow_tag(rec))
         cells.setdefault(key, {}).setdefault(rec.load, []).append(rec)
-    curves: Dict[Tuple[str, str, str, str], List[CurvePoint]] = {}
+    curves: Dict[Tuple[str, str, str, str, str], List[CurvePoint]] = {}
     for key, by_load in cells.items():
         curve = []
         for load in sorted(by_load):
@@ -298,6 +398,10 @@ def saturation_curves(
                 router=key[1],
                 pattern=key[2],
                 faults=key[3],
+                switching=rs[0].switching,
+                num_vcs=rs[0].num_vcs,
+                buffer_depth=rs[0].buffer_depth,
+                flits=rs[0].flits,
                 load=load,
                 seeds=len(rs),
                 avg_latency=fmean(lats),
@@ -310,6 +414,8 @@ def saturation_curves(
                 max_queue=max(r.max_queue for r in rs),
                 dropped=fmean(r.dropped for r in rs),
                 misroutes=fmean(r.misroutes for r in rs),
+                stalled=fmean(r.stalled for r in rs),
+                deadlock_rate=fmean(float(r.deadlocked) for r in rs),
             ))
         curves[key] = curve
     return curves

@@ -15,7 +15,9 @@ for non-palindromic factors).  The fallback keeps every pattern total on
 every topology, so sweeps can run the same scenario grid everywhere.
 
 The registry :data:`PATTERNS` / :func:`make_traffic` is what the sweep
-harness and the ``repro sweep`` CLI iterate over.  Under a fault plan
+harness and the ``repro sweep`` CLI iterate over.  Flow-controlled runs
+(wormhole / virtual cut-through) pair a traffic list with per-packet
+flit counts from :func:`flit_sizes`, aligned entry for entry.  Under a fault plan
 (:class:`~repro.network.faults.FaultPlan`), :func:`make_traffic` removes
 the triples whose *source* is already dead at its injection cycle --
 failed nodes stop injecting, while dead destinations and in-flight
@@ -34,6 +36,7 @@ __all__ = [
     "PATTERNS",
     "bit_reversal_traffic",
     "bursty_traffic",
+    "flit_sizes",
     "hotspot_traffic",
     "make_traffic",
     "permutation_traffic",
@@ -270,11 +273,51 @@ def bursty_traffic(
         length = 1
         while rng.random() >= 1.0 / mean_burst:  # geometric, mean = mean_burst
             length += 1
-        length = min(length, num_packets - len(out))
+        # cap the burst at the window edge: every pattern honours the
+        # documented [0, inject_window) contract, so the sweep harness's
+        # load * nodes * window normalisation stays exact
+        length = min(length, num_packets - len(out), inject_window - start)
         for k in range(length):
             out.append((start + k, s, t))
     out.sort()
     return out
+
+
+def flit_sizes(
+    num_packets: int,
+    flits: "str | int" = "1",
+    seed: int = 0,
+) -> List[int]:
+    """Per-packet flit counts for the flow-controlled switching modes.
+
+    ``flits`` is a compact spec: an int (or digit string) gives every
+    packet that many flits; ``"lo-hi"`` draws each packet's size
+    uniformly from ``[lo, hi]``, deterministic given ``seed``.  The
+    returned list aligns with a traffic list of ``num_packets`` triples
+    (generate it *after* any fault filtering so the two stay aligned).
+    """
+    if num_packets < 0:
+        raise ValueError(f"num_packets must be non-negative, got {num_packets}")
+    if isinstance(flits, int):
+        lo = hi = flits
+    else:
+        text = str(flits).strip()
+        lo_s, sep, hi_s = text.partition("-")
+        try:
+            lo = int(lo_s)
+            hi = int(hi_s) if sep else lo
+        except ValueError:
+            raise ValueError(
+                f"bad flits spec {flits!r}: expected '<n>' or '<lo>-<hi>'"
+            ) from None
+    if lo < 1 or hi < lo:
+        raise ValueError(
+            f"bad flits spec {flits!r}: need 1 <= lo <= hi, got [{lo}, {hi}]"
+        )
+    if lo == hi:
+        return [lo] * num_packets
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(num_packets)]
 
 
 PATTERNS: Dict[str, Callable[..., Traffic]] = {

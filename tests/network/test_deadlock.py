@@ -9,8 +9,18 @@ from repro.network.deadlock import (
     find_dependency_cycle,
     is_deadlock_free,
 )
-from repro.network.routing import BfsRouter, CanonicalRouter
+from repro.network.faults import FaultPlan
+from repro.network.routing import AdaptiveRouter, BfsRouter, CanonicalRouter
 from repro.network.topology import Topology, topology_of
+
+
+def assert_valid_cycle(cycle, deps):
+    """The returned list must be a genuine closed walk of the CDG with no
+    lead-in tail: consecutive elements are arcs and it closes on itself."""
+    assert cycle is not None and len(cycle) >= 2
+    assert cycle[0] == cycle[-1]
+    for a, b in zip(cycle, cycle[1:]):
+        assert b in deps.get(a, ()), (a, b)
 
 
 class ClockwiseRouter:
@@ -56,6 +66,60 @@ class TestCdg:
         assert find_dependency_cycle({(0, 1): {(1, 2)}, (1, 2): set()}) is None
 
 
+class TestCycleReconstruction:
+    """Direct unit tests of find_dependency_cycle's back-edge
+    reconstruction and trimming, on crafted CDGs."""
+
+    def test_self_loop(self):
+        deps = {(0, 1): {(0, 1)}}
+        cycle = find_dependency_cycle(deps)
+        assert_valid_cycle(cycle, deps)
+        assert cycle == [(0, 1), (0, 1)]
+
+    def test_two_cycle(self):
+        deps = {(0, 1): {(1, 0)}, (1, 0): {(0, 1)}}
+        cycle = find_dependency_cycle(deps)
+        assert_valid_cycle(cycle, deps)
+        assert len(cycle) == 3
+
+    def test_lead_in_tail_is_trimmed(self):
+        """A path feeding into a 3-cycle: the returned walk must contain
+        only the cycle, not the entry tail."""
+        t1, t2 = (9, 8), (8, 7)
+        c1, c2, c3 = (0, 1), (1, 2), (2, 0)
+        deps = {t1: {t2}, t2: {c1}, c1: {c2}, c2: {c3}, c3: {c1}}
+        cycle = find_dependency_cycle(deps)
+        assert_valid_cycle(cycle, deps)
+        assert t1 not in cycle and t2 not in cycle
+        assert set(cycle) == {c1, c2, c3}
+        assert len(cycle) == 4
+
+    def test_cycle_behind_acyclic_branches(self):
+        """DFS must not report a cross edge to an already-finished branch
+        as a cycle."""
+        deps = {
+            (0, 1): {(1, 2), (1, 3)},
+            (1, 2): {(2, 4)},
+            (1, 3): {(2, 4)},   # cross edge to a BLACK node: no cycle
+            (2, 4): set(),
+        }
+        assert find_dependency_cycle(deps) is None
+        deps[(2, 4)] = {(0, 1)}  # now a genuine back edge exists
+        cycle = find_dependency_cycle(deps)
+        assert_valid_cycle(cycle, deps)
+
+    def test_disjoint_components_second_has_the_cycle(self):
+        deps = {
+            (0, 1): {(1, 2)},
+            (1, 2): set(),
+            (5, 6): {(6, 5)},
+            (6, 5): {(5, 6)},
+        }
+        cycle = find_dependency_cycle(deps)
+        assert_valid_cycle(cycle, deps)
+        assert set(cycle) <= {(5, 6), (6, 5)}
+
+
 class TestDeadlockFreedom:
     @pytest.mark.parametrize("spec", [("11", 5), ("111", 5), ("11", 6)])
     def test_canonical_routing_deadlock_free_on_cubes(self, spec):
@@ -72,3 +136,40 @@ class TestDeadlockFreedom:
     def test_bfs_on_ring_with_tiebreak_is_free(self):
         # our BFS router's deterministic tie-break happens to avoid the cycle
         assert is_deadlock_free(ring(4), BfsRouter())
+
+
+class TestAdaptiveUnderFaultMasks:
+    """CDG analysis of the fault-aware detour rule on masked views
+    (Topology.with_faults): pure node faults leave the canonical order
+    intact, while link faults force misroute detours whose dependencies
+    can close a cycle -- the boundary, machine-checked."""
+
+    @staticmethod
+    def live_pairs(topo, plan):
+        dead = plan.dead_nodes_at(0)
+        n = topo.num_nodes
+        return [
+            (s, t)
+            for s in range(n)
+            for t in range(n)
+            if s != t and s not in dead and t not in dead
+        ]
+
+    @pytest.mark.parametrize("spec", ["n2", "n9", "n16"])
+    def test_acyclic_under_node_fault_masks(self, spec):
+        topo = topology_of(("11", 6))
+        plan = FaultPlan.parse(spec, num_nodes=topo.num_nodes).validate(topo)
+        view = topo.with_faults(plan, at_cycle=0)
+        assert is_deadlock_free(view, AdaptiveRouter(), self.live_pairs(topo, plan))
+
+    def test_link_fault_detours_can_close_a_cycle(self):
+        """Misrouting around a dead link is what breaks deadlock freedom:
+        the cycle the analysis finds is a real closed dependency walk."""
+        topo = topology_of(("11", 6))
+        plan = FaultPlan.parse("l0-1", num_nodes=topo.num_nodes).validate(topo)
+        view = topo.with_faults(plan, at_cycle=0)
+        pairs = self.live_pairs(topo, plan)
+        deps = channel_dependency_graph(view, AdaptiveRouter(), pairs)
+        cycle = find_dependency_cycle(deps)
+        assert_valid_cycle(cycle, deps)
+        assert not is_deadlock_free(view, AdaptiveRouter(), pairs)

@@ -138,6 +138,77 @@ class TestFaultAxis:
             run_sweep(["Q:3"], faults=("n99",))
 
 
+class TestFlowControlAxis:
+    def test_wormhole_point(self):
+        rec = run_point(PointSpec(
+            topology="11:5", load=0.3, inject_window=16,
+            switching="wormhole", num_vcs=2, buffer_depth=4, flits="1-4",
+        ))
+        assert rec.switching == "wormhole"
+        assert rec.num_vcs == 2 and rec.buffer_depth == 4
+        assert rec.flits == "1-4"
+        assert rec.delivered == rec.injected
+        assert not rec.deadlocked and rec.stalled == 0
+        assert rec.max_queue <= 4
+
+    def test_sf_points_are_normalised_and_deduped(self):
+        """A mixed grid never re-runs identical store-and-forward points
+        across the vcs/buffers/flits axes."""
+        records = run_sweep(
+            ["11:5"], loads=(0.2,), inject_window=8,
+            switching=("sf", "wormhole"), buffers=(2, 8), flits=("2",),
+        )
+        sf = [r for r in records if r.switching == "sf"]
+        worm = [r for r in records if r.switching == "wormhole"]
+        assert len(sf) == 1 and len(worm) == 2
+        assert sf[0].buffer_depth == 0 and sf[0].flits == "1"
+
+    def test_wormhole_latency_exceeds_sf_on_the_same_cell(self):
+        """Multi-flit serialisation costs cycles: the wormhole curve sits
+        above the single-flit store-and-forward curve."""
+        records = run_sweep(
+            ["11:6"], loads=(0.4,), inject_window=16, seeds=(0,),
+            switching=("sf", "wormhole"), buffers=(4,), flits=("4",),
+        )
+        by_mode = {r.switching: r for r in records}
+        assert by_mode["wormhole"].avg_latency > by_mode["sf"].avg_latency
+
+    def test_curves_key_on_flow_tag(self):
+        records = run_sweep(
+            ["11:5"], loads=(0.2, 0.4), inject_window=8,
+            switching=("sf", "wormhole"), vcs=(1, 2), flits=("2",),
+        )
+        curves = saturation_curves(records)
+        # one sf curve + one wormhole curve per VC count
+        assert len(curves) == 3
+        tags = {key[4] for key in curves}
+        assert "" in tags
+        assert "wormhole:v1:b4:f2" in tags and "wormhole:v2:b4:f2" in tags
+        for key, curve in curves.items():
+            assert [p.load for p in curve] == [0.2, 0.4]
+            for point in curve:
+                assert point.deadlock_rate in (0.0, 1.0)
+
+    def test_deadlocked_point_is_recorded_not_hung(self):
+        """A saturating single-VC wormhole burst on the non-isometric
+        Q_5(1010) deadlocks under BFS routing; the sweep records it."""
+        rec = run_point(PointSpec(
+            topology="1010:5", router="bfs", load=20.0, inject_window=1,
+            switching="wormhole", num_vcs=1, buffer_depth=1, flits="4",
+        ))
+        assert rec.deadlocked
+        assert rec.stalled > 0
+        assert rec.delivered + rec.dropped + rec.stalled == rec.injected
+
+    def test_eager_flow_validation(self):
+        with pytest.raises(ValueError, match="unknown switching mode"):
+            run_sweep(["Q:3"], switching=("warp",))
+        with pytest.raises(ValueError, match="buffer_depth"):
+            run_sweep(["Q:3"], switching=("wormhole",), buffers=(0,))
+        with pytest.raises(ValueError, match="flits"):
+            run_sweep(["Q:3"], switching=("wormhole",), flits=("9-2",))
+
+
 class TestRunSweep:
     def test_grid_shape(self):
         records = run_sweep(
@@ -245,6 +316,34 @@ class TestSweepCli:
         assert {r["faults"] for r in rows} == {"rand2s3"}
         assert {r["num_faults"] for r in rows} == {"2"}
         assert "dropped" in rows[0] and "misroutes" in rows[0]
+
+    def test_switching_axis_cli(self, tmp_path, capsys):
+        csv_path = tmp_path / "flow.csv"
+        rc = main([
+            "sweep",
+            "--topo", "11:5",
+            "--patterns", "uniform",
+            "--loads", "0.2,0.5",
+            "--switching", "sf,wormhole",
+            "--vcs", "2",
+            "--buffer", "4",
+            "--flits", "1-4",
+            "--window", "16",
+            "--csv", str(csv_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wormhole:v2:b4:f1-4" in out
+        assert "dlock" in out
+        with open(csv_path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["switching"] for r in rows} == {"sf", "wormhole"}
+        assert "stalled" in rows[0] and "deadlocked" in rows[0]
+
+    def test_bad_switching_is_a_clean_error(self, capsys):
+        rc = main(["sweep", "--topo", "Q:3", "--switching", "warp"])
+        assert rc == 2
+        assert "switching" in capsys.readouterr().err
 
     def test_bad_fault_spec_is_a_clean_error(self, capsys):
         rc = main(["sweep", "--topo", "Q:3", "--faults", "wat"])

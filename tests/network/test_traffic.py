@@ -8,6 +8,7 @@ from repro.network.traffic import (
     PATTERNS,
     bit_reversal_traffic,
     bursty_traffic,
+    flit_sizes,
     hotspot_traffic,
     make_traffic,
     permutation_traffic,
@@ -65,6 +66,17 @@ class TestEveryPattern:
     def test_unknown_pattern_raises(self, gamma6):
         with pytest.raises(ValueError, match="unknown traffic pattern"):
             make_traffic("nope", gamma6, 5, 5)
+
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    @pytest.mark.parametrize("window", [1, 3, 10, 64])
+    def test_every_cycle_inside_the_inject_window(self, gamma6, pattern, window):
+        """The documented contract: injection cycles lie in
+        [0, inject_window).  Regression for bursty_traffic, whose bursts
+        used to run past the window edge and distort the sweep's
+        load * nodes * window normalisation."""
+        for seed in (0, 6, 23):
+            out = make_traffic(pattern, gamma6, 300, window, seed=seed)
+            assert all(0 <= c < window for c, _, _ in out), (pattern, seed)
 
 
 class TestUniform:
@@ -148,6 +160,39 @@ class TestBursty:
     def test_bad_mean_burst_raises(self, gamma6):
         with pytest.raises(ValueError):
             bursty_traffic(gamma6, 5, 5, mean_burst=0)
+
+    def test_bursts_capped_at_the_window_edge(self, gamma6):
+        """A burst starting near the end of the window is truncated, not
+        spilled past it: with window=2 and mean_burst=10 most geometric
+        bursts would overflow without the cap."""
+        out = bursty_traffic(gamma6, 400, 2, seed=0, mean_burst=10)
+        assert len(out) == 400
+        assert all(0 <= c < 2 for c, _, _ in out)
+
+    def test_capping_is_deterministic(self, gamma6):
+        a = bursty_traffic(gamma6, 200, 5, seed=9, mean_burst=8)
+        assert a == bursty_traffic(gamma6, 200, 5, seed=9, mean_burst=8)
+
+
+class TestFlitSizes:
+    def test_fixed_spec(self):
+        assert flit_sizes(4, "3") == [3, 3, 3, 3]
+        assert flit_sizes(3, 2) == [2, 2, 2]
+        assert flit_sizes(0, "5") == []
+
+    def test_range_spec_is_deterministic_and_bounded(self):
+        a = flit_sizes(500, "2-8", seed=3)
+        assert a == flit_sizes(500, "2-8", seed=3)
+        assert a != flit_sizes(500, "2-8", seed=4)
+        assert all(2 <= f <= 8 for f in a)
+        assert len(set(a)) > 1
+
+    def test_bad_specs_raise(self):
+        for spec in ("0", "5-2", "x", "1-y", "-3"):
+            with pytest.raises(ValueError):
+                flit_sizes(5, spec)
+        with pytest.raises(ValueError):
+            flit_sizes(-1, "2")
 
 
 def test_simulator_reexports_uniform_traffic():

@@ -5,15 +5,19 @@ The vectorized simulator is only allowed to be *faster*, never
 cube, the hypercube and a faulted topology, both engines must produce
 the same ``SimResult`` field for field -- latencies and hop counts (per
 packet, in injection order), cycle count, throughput, drop/misroute
-counters and max queue depth.  The faulted scenarios exercise the
-dynamic model end to end: static and staged node/link failures, under
-fault-aware and fault-oblivious routers alike.
+counters, stall/deadlock verdicts and max queue depth.  The faulted
+scenarios exercise the dynamic model end to end: static and staged
+node/link failures, under fault-aware and fault-oblivious routers
+alike; the switching grid re-runs the whole contract under wormhole and
+virtual-cut-through flow control (finite buffers, multi-flit packets,
+virtual channels).
 """
 
 import pytest
 
 from repro.cubes.hypercube import hypercube
 from repro.network.faults import FaultPlan
+from repro.network.flowcontrol import FlowControl
 from repro.network.routing import (
     AdaptiveRouter,
     BfsRouter,
@@ -27,7 +31,7 @@ from repro.network.simulator import (
     VectorizedSimulator,
 )
 from repro.network.topology import faulted_topology, topology_of
-from repro.network.traffic import PATTERNS, make_traffic
+from repro.network.traffic import PATTERNS, flit_sizes, make_traffic
 
 
 def _topologies():
@@ -108,6 +112,81 @@ def test_engines_agree_under_faults_with_cycle_cap():
         )
         assert ref == vec, cap
         assert ref.cycles <= cap
+
+
+FLOWS = {
+    "sf": ("sf", "1"),
+    "wormhole": (FlowControl("wormhole", buffer_depth=2, num_vcs=2), "1-5"),
+    "vct": (FlowControl("vct", buffer_depth=6, num_vcs=2), "1-5"),
+}
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("flow_name", sorted(FLOWS))
+@pytest.mark.parametrize(
+    "make_router", [AdaptiveRouter, BfsRouter, CanonicalRouter],
+    ids=["adaptive", "bfs", "canonical"],
+)
+@pytest.mark.parametrize("plan_name", ["none", "static", "staged"])
+def test_engines_agree_in_every_switching_mode(
+    topo_name, flow_name, make_router, plan_name
+):
+    """The flow-control acceptance grid: 3 topologies x 3 switching
+    modes x 3 routers x (no faults + 2 fault plans), multi-flit traffic,
+    bit-identical SimResults including the new stalled/deadlocked
+    fields."""
+    topo = TOPOLOGIES[topo_name]
+    flow, flit_spec = FLOWS[flow_name]
+    plan = None if plan_name == "none" else _fault_plans(topo)[plan_name]
+    router = make_router()
+    traffic = make_traffic("uniform", topo, 150, 12, seed=1)
+    sizes = flit_sizes(len(traffic), flit_spec, seed=2)
+    ref = ReferenceSimulator(topo, router).run(
+        traffic, faults=plan, switching=flow, flits=sizes
+    )
+    vec = VectorizedSimulator(topo, router).run(
+        traffic, faults=plan, switching=flow, flits=sizes
+    )
+    assert ref == vec, (topo_name, flow_name, router.name, plan_name)
+    assert ref.delivered + ref.dropped + ref.stalled == ref.injected
+
+
+@pytest.mark.parametrize("flow_name", ["wormhole", "vct"])
+def test_engines_agree_in_flow_modes_under_cycle_cap(flow_name):
+    topo = TOPOLOGIES["fibonacci"]
+    flow, flit_spec = FLOWS[flow_name]
+    traffic = make_traffic("hotspot", topo, 200, 1, seed=3)
+    sizes = flit_sizes(len(traffic), flit_spec, seed=4)
+    for cap in (1, 5, 23):
+        ref = ReferenceSimulator(topo).run(
+            traffic, max_cycles=cap, switching=flow, flits=sizes
+        )
+        vec = VectorizedSimulator(topo).run(
+            traffic, max_cycles=cap, switching=flow, flits=sizes
+        )
+        assert ref == vec, (flow_name, cap)
+        assert ref.cycles <= cap
+
+
+def test_negative_injection_cycles_rejected_by_both_engines():
+    """Regression: the vectorized engine used to start counting at the
+    (negative) first injection cycle while the reference engine started
+    at 0 and injected late -- silently diverging latencies and cycle
+    counts.  Both engines now reject negative cycles up front, on every
+    preparation path."""
+    topo = TOPOLOGIES["fibonacci"]
+    traffic = [(-3, 0, 5), (0, 1, 4), (2, 3, 6)]
+    table = BfsRouter().build_table(topo, [(s, d) for _, s, d in traffic])
+    plan = _fault_plans(topo)["staged"]
+    for sim in (ReferenceSimulator(topo), VectorizedSimulator(topo)):
+        with pytest.raises(ValueError, match="non-negative"):
+            sim.run(traffic)
+        with pytest.raises(ValueError, match="non-negative"):
+            sim.run(traffic, route_table=table)
+        with pytest.raises(ValueError, match="non-negative"):
+            sim.run(traffic, faults=plan)
+        with pytest.raises(ValueError, match="non-negative"):
+            sim.run(traffic, switching=FlowControl("wormhole"), flits=2)
 
 
 def test_faults_and_route_table_are_mutually_exclusive():
