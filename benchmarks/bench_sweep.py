@@ -23,7 +23,7 @@ def test_bench_n2_saturation_grid(benchmark):
     assert len(records) == 2 * 4 * 3
     curves = saturation_curves(records)
     rows = []
-    for (topo, router, pattern, faults, flow), curve in sorted(curves.items()):
+    for (topo, router, pattern, faults, flow, coll), curve in sorted(curves.items()):
         # latency can only stay flat or grow as offered load rises
         lats = [r.avg_latency for r in curve]
         assert lats[-1] >= lats[0] * 0.95, (topo, pattern, lats)
@@ -39,8 +39,8 @@ def test_bench_n2_saturation_grid(benchmark):
     )
     # hotspot concentrates at one node: worse than uniform at equal load
     for topo in ("Q_6", "Q_6(11)"):
-        hot = curves[(topo, "bfs", "hotspot", "", "")][-1]
-        uni = curves[(topo, "bfs", "uniform", "", "")][-1]
+        hot = curves[(topo, "bfs", "hotspot", "", "", "")][-1]
+        uni = curves[(topo, "bfs", "uniform", "", "", "")][-1]
         assert hot.avg_latency > uni.avg_latency, topo
 
 

@@ -20,7 +20,9 @@ Subcommands
     x switching x load) grids on the vectorized network simulator, with
     CSV/JSON output; ``--faults`` adds fault-plan axes for degradation
     curves, ``--switching/--vcs/--buffer/--flits`` sweep the wormhole /
-    virtual-cut-through flow-control configurations.
+    virtual-cut-through flow-control configurations, and
+    ``--collective`` adds closed-loop collective workloads (broadcast,
+    reduce, allgather, alltoall, ring) compiled with per-round barriers.
 
 Installed both as ``gfc`` and as ``repro``.
 """
@@ -142,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
              "flits per packet (wormhole/vct only; default: %(default)s)",
     )
     p_swp.add_argument(
+        "--collective", action="append", dest="collectives", metavar="NAME",
+        help="closed-loop collective workload: broadcast, reduce, "
+             "allgather, alltoall or ring; repeatable; compiled with "
+             "per-round barriers (the seed picks the root), so the "
+             "pattern/load axes do not apply to these points",
+    )
+    p_swp.add_argument(
         "--window", type=int, default=64,
         help="injection window in cycles (default: %(default)s)",
     )
@@ -207,6 +216,7 @@ def _cmd_sweep(args) -> int:
             vcs=[int(v) for v in args.vcs.split(",") if v],
             buffers=[int(b) for b in args.buffer.split(",") if b],
             flits=[f for f in args.flits.split(",") if f],
+            collectives=args.collectives if args.collectives else ("",),
             inject_window=args.window,
             max_cycles=args.max_cycles,
             processes=args.processes,
@@ -219,11 +229,14 @@ def _cmd_sweep(args) -> int:
         f"{'avg lat':>8} {'p95':>7} {'thruput':>8} {'deliv':>6} "
         f"{'drop':>6} {'stall':>6} {'dlock':>5} {'maxq':>5}"
     )
-    for (topo, router, pattern, faults, flow), curve in sorted(
+    for (topo, router, pattern, faults, flow, coll), curve in sorted(
         saturation_curves(records).items()
     ):
         tag = f" / faults[{faults}]" if faults else ""
         tag += f" / {flow}" if flow else ""
+        if coll:
+            bound = curve[0].round_bound
+            tag += f" / coll[{coll}: {curve[0].rounds:g} rounds, bound {bound}]"
         print(f"-- {topo} / {router} / {pattern}{tag}")
         print(header)
         for r in curve:

@@ -13,6 +13,9 @@ generalized Fibonacci cube:
   greedy distributed rule with local fallback;
 - :mod:`repro.network.broadcast` -- single-port broadcast scheduling
   (binomial on the hypercube, BFS-tree based generally);
+- :mod:`repro.network.collectives` -- collective operations (broadcast,
+  reduce, allgather, all-to-all, Hamiltonian-ring emulation) compiled
+  into barriered traffic and simulated through both engines;
 - :mod:`repro.network.simulator` -- synchronous message-passing simulator
   with FIFO link queues (the "hardware" substitute: per DESIGN.md, graph
   metrics need no silicon, but the simulator lets us measure latency
@@ -51,6 +54,15 @@ from repro.network.broadcast import (
     broadcast_rounds,
     verify_schedule,
 )
+from repro.network.collectives import (
+    COLLECTIVES,
+    CollectiveResult,
+    collective_schedule,
+    round_lower_bound,
+    run_collective,
+    schedule_link_loads,
+    verify_collective_schedule,
+)
 from repro.network.flowcontrol import (
     SWITCHING_MODES,
     FlowControl,
@@ -68,6 +80,7 @@ from repro.network.traffic import (
     PATTERNS,
     bit_reversal_traffic,
     bursty_traffic,
+    collective_traffic,
     flit_sizes,
     hotspot_traffic,
     make_traffic,
@@ -144,6 +157,14 @@ __all__ = [
     "binomial_broadcast_schedule",
     "broadcast_rounds",
     "verify_schedule",
+    "COLLECTIVES",
+    "CollectiveResult",
+    "collective_schedule",
+    "collective_traffic",
+    "round_lower_bound",
+    "run_collective",
+    "schedule_link_loads",
+    "verify_collective_schedule",
     "NetworkSimulator",
     "SimResult",
     "uniform_traffic",

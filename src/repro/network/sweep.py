@@ -21,7 +21,14 @@ topology.  This module runs those grids at scale:
 - the flow-control axes (``switching`` / ``vcs`` / ``buffers`` /
   ``flits``) sweep the wormhole / virtual-cut-through configurations of
   :mod:`repro.network.flowcontrol`, with per-point ``stalled`` /
-  ``deadlocked`` columns carrying the deadlock story.
+  ``deadlocked`` columns carrying the deadlock story;
+- the ``collectives`` axis runs the *closed-loop* collective workloads
+  of :mod:`repro.network.collectives`: a collective point compiles its
+  schedule with true per-round barriers (:func:`run_collective`, root
+  selected by the seed) instead of generating open-loop pattern
+  traffic, and carries ``rounds`` / ``round_bound`` columns; its
+  ``pattern`` and ``load`` are normalised (``"-"`` / ``1.0``) so the
+  grid never duplicates collective points across those axes.
 
 Offered load is normalised: ``load`` is packets per node per cycle over
 the injection window, so ``num_packets = round(load * nodes * window)``
@@ -44,6 +51,7 @@ from functools import lru_cache
 from statistics import fmean, pstdev
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.network.collectives import COLLECTIVES, run_collective
 from repro.network.faults import FaultPlan
 from repro.network.flowcontrol import SWITCHING_MODES, FlowControl
 from repro.network.routing import (
@@ -118,6 +126,12 @@ def nearest_rank_p95(latencies: Sequence[int]) -> float:
     Integer arithmetic, so no float-ceiling artefacts: 20 samples give
     the 19th value, not the maximum (the old ``(95 * n) // 100`` index
     over-shot to the max for every ``n`` not divisible by 20).
+
+    An empty sample is *defined* as ``0.0``: a sweep point that
+    delivered nothing (all packets dropped by faults, or an all-dead
+    traffic source set) reports zero latency percentiles rather than
+    raising mid-grid -- its ``delivered`` / ``delivery_rate`` columns
+    carry the real story.
     """
     if not latencies:
         return 0.0
@@ -133,6 +147,12 @@ class PointSpec:
     flow-control configuration; store-and-forward points are normalised
     to ``num_vcs=1, buffer_depth=0, flits="1"`` (unbounded FIFOs,
     single-flit packets) so duplicate grid points collapse.
+
+    A non-empty ``collective`` turns the point into a closed-loop
+    collective run (:func:`run_collective`, the seed picking the root);
+    ``pattern``/``load``/``inject_window`` are then ignored (and
+    normalised to ``"-"``/``1.0`` by :func:`run_sweep` so the grid does
+    not replicate the point along those axes).
     """
 
     topology: str
@@ -147,15 +167,25 @@ class PointSpec:
     num_vcs: int = 1
     buffer_depth: int = 0
     flits: str = "1"
+    collective: str = ""
 
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """Flattened outcome of one sweep point."""
+    """Flattened outcome of one sweep point.
+
+    ``collective`` is empty for pattern points; for collective points it
+    names the operation and ``rounds``/``round_bound`` hold the schedule
+    round count against the single-port ``ceil(log2 n)`` bound (both
+    zero for pattern points).  Zero-delivered points (every packet
+    dropped, or nothing injected at all) report ``0.0`` latency columns
+    by definition -- see :func:`nearest_rank_p95`.
+    """
 
     topology: str
     router: str
     pattern: str
+    collective: str
     load: float
     seed: int
     faults: str
@@ -164,6 +194,8 @@ class SweepRecord:
     num_vcs: int
     buffer_depth: int
     flits: str
+    rounds: int
+    round_bound: int
     nodes: int
     injected: int
     delivered: int
@@ -181,7 +213,13 @@ class SweepRecord:
 
 
 def run_point(spec: PointSpec) -> SweepRecord:
-    """Run one grid point: build, generate, simulate, condense."""
+    """Run one grid point: build, generate, simulate, condense.
+
+    Pattern points generate ``load``-normalised open-loop traffic;
+    collective points (``spec.collective`` non-empty) compile and run
+    the closed-loop barriered collective instead, the seed choosing the
+    root.
+    """
     topo = parse_topology(spec.topology)
     try:
         router = ROUTERS[spec.router]()
@@ -194,34 +232,54 @@ def run_point(spec: PointSpec) -> SweepRecord:
     plan: Optional[FaultPlan] = None
     if spec.faults:
         plan = FaultPlan.parse(spec.faults, num_nodes=topo.num_nodes).validate(topo)
-    num_packets = max(1, round(spec.load * topo.num_nodes * spec.inject_window))
-    traffic = make_traffic(
-        spec.pattern, topo, num_packets, spec.inject_window, seed=spec.seed,
-        faults=plan,
-    )
     pipelined = spec.switching != "sf"
     if pipelined:
-        flow = FlowControl(
+        flow: "str | FlowControl" = FlowControl(
             switching=spec.switching,
             buffer_depth=spec.buffer_depth,
             num_vcs=spec.num_vcs,
         )
-        sizes = flit_sizes(len(traffic), spec.flits, seed=spec.seed)
     else:
         if spec.switching not in SWITCHING_MODES:
             raise ValueError(
                 f"unknown switching mode {spec.switching!r}; "
                 f"choose from {SWITCHING_MODES}"
             )
-        flow, sizes = "sf", 1
-    result = VectorizedSimulator(topo, router).run(
-        traffic, max_cycles=spec.max_cycles, faults=plan,
-        switching=flow, flits=sizes,
-    )
+        flow = "sf"
+    rounds = round_bound = 0
+    if spec.collective:
+        if spec.collective not in COLLECTIVES:
+            raise ValueError(
+                f"unknown collective {spec.collective!r}; "
+                f"choose from {sorted(COLLECTIVES)}"
+            )
+        coll = run_collective(
+            topo, spec.collective, root=spec.seed % topo.num_nodes,
+            router=router, engine=VectorizedSimulator, switching=flow,
+            flits=spec.flits if pipelined else 1, flit_seed=spec.seed,
+            faults=plan, max_cycles=spec.max_cycles,
+        )
+        result = coll.result
+        rounds, round_bound = coll.rounds, coll.round_bound
+    else:
+        num_packets = max(1, round(spec.load * topo.num_nodes * spec.inject_window))
+        traffic = make_traffic(
+            spec.pattern, topo, num_packets, spec.inject_window, seed=spec.seed,
+            faults=plan,
+        )
+        if pipelined:
+            sizes: "int | list" = flit_sizes(len(traffic), spec.flits, seed=spec.seed)
+        else:
+            sizes = 1
+        result = VectorizedSimulator(topo, router).run(
+            traffic, max_cycles=spec.max_cycles, faults=plan,
+            switching=flow, flits=sizes,
+        )
     return SweepRecord(
         topology=topo.name,
         router=spec.router,
-        pattern=spec.pattern,
+        pattern=spec.pattern if not spec.collective else "-",
+        collective=spec.collective,
         load=spec.load,
         seed=spec.seed,
         faults=spec.faults,
@@ -230,6 +288,8 @@ def run_point(spec: PointSpec) -> SweepRecord:
         num_vcs=spec.num_vcs if pipelined else 1,
         buffer_depth=spec.buffer_depth if pipelined else 0,
         flits=spec.flits if pipelined else "1",
+        rounds=rounds,
+        round_bound=round_bound,
         nodes=topo.num_nodes,
         injected=result.injected,
         delivered=result.delivered,
@@ -258,19 +318,24 @@ def run_sweep(
     vcs: Sequence[int] = (1,),
     buffers: Sequence[int] = (4,),
     flits: Sequence[str] = ("1",),
+    collectives: Sequence[str] = ("",),
     inject_window: int = 64,
     max_cycles: int = 100000,
     processes: int = 1,
 ) -> List[SweepRecord]:
     """Run the (topology x router x pattern x faults x switching x vcs x
-    buffers x flits x load x seed) grid.
+    buffers x flits x collective x load x seed) grid.
 
     ``faults`` is a sequence of fault-plan spec strings (``""`` = the
     unfaulted baseline), so one call produces degradation curves.
     ``switching``/``vcs``/``buffers``/``flits`` sweep the flow-control
     configuration; ``"sf"`` points ignore the latter three axes (their
     specs are normalised, so a mixed grid never re-runs the same
-    store-and-forward point).  ``processes > 1`` distributes points over
+    store-and-forward point).  ``collectives`` adds closed-loop
+    collective points (``""`` = the plain pattern grid); a collective
+    point's pattern/load axes are normalised away, so one collective
+    entry contributes exactly one point per (topology, router, faults,
+    flow, seed) cell.  ``processes > 1`` distributes points over
     a multiprocessing pool; specs are validated eagerly (unknown names,
     impossible fault plans and bad flit specs raise before any worker
     starts).
@@ -278,6 +343,11 @@ def run_sweep(
     for p in patterns:
         if p not in PATTERNS:
             raise ValueError(f"unknown traffic pattern {p!r}; choose from {sorted(PATTERNS)}")
+    for c in collectives:
+        if c and c not in COLLECTIVES:
+            raise ValueError(
+                f"unknown collective {c!r}; choose from {sorted(COLLECTIVES)}"
+            )
     for r in routers:
         if r not in ROUTERS:
             raise ValueError(f"unknown router {r!r}; choose from {sorted(ROUTERS)}")
@@ -299,11 +369,15 @@ def run_sweep(
                 FaultPlan.parse(f, num_nodes=topo.num_nodes).validate(topo)
     specs = list(dict.fromkeys(
         PointSpec(
-            topology=t, router=r, pattern=p, load=ld, seed=s, faults=f,
+            topology=t, router=r,
+            pattern=p if not c else "-",
+            load=ld if not c else 1.0,
+            seed=s, faults=f,
             switching=sw,
             num_vcs=v if sw != "sf" else 1,
             buffer_depth=b if sw != "sf" else 0,
             flits=fl if sw != "sf" else "1",
+            collective=c,
             inject_window=inject_window, max_cycles=max_cycles,
         )
         for t in topologies
@@ -314,6 +388,7 @@ def run_sweep(
         for v in vcs
         for b in buffers
         for fl in flits
+        for c in collectives
         for ld in loads
         for s in seeds
     ))
@@ -340,19 +415,25 @@ def flow_tag(rec: SweepRecord) -> str:
 @dataclass(frozen=True)
 class CurvePoint:
     """One aggregated saturation-curve point: every seed of one
-    (topology, router, pattern, faults, flow) cell condensed to mean/std
-    (population std; zero for single-seed cells).  ``deadlock_rate`` is
-    the fraction of seeds whose run deadlocked; ``stalled`` the mean
-    stuck-packet count."""
+    (topology, router, pattern, faults, flow, collective) cell condensed
+    to mean/std (population std; zero for single-seed cells).
+    ``deadlock_rate`` is the fraction of seeds whose run deadlocked;
+    ``stalled`` the mean stuck-packet count.  For collective cells
+    ``rounds`` is the mean schedule round count over the seeds (roots
+    vary by seed, so BFS-tree round counts may too) against the shared
+    ``round_bound``; both are zero on pattern cells."""
 
     topology: str
     router: str
     pattern: str
+    collective: str
     faults: str
     switching: str
     num_vcs: int
     buffer_depth: int
     flits: str
+    rounds: float
+    round_bound: int
     load: float
     seeds: int
     avg_latency: float
@@ -371,22 +452,25 @@ class CurvePoint:
 
 def saturation_curves(
     records: Sequence[SweepRecord],
-) -> Dict[Tuple[str, str, str, str, str], List[CurvePoint]]:
-    """Regroup records into per-(topology, router, pattern, faults, flow)
-    load curves, sorted by offered load (the saturation-curve x axis).
+) -> Dict[Tuple[str, str, str, str, str, str], List[CurvePoint]]:
+    """Regroup records into per-(topology, router, pattern, faults, flow,
+    collective) load curves, sorted by offered load (the saturation-curve
+    x axis).
 
     Multi-seed cells aggregate into one :class:`CurvePoint` per load
     instead of interleaving seed replicas along the curve; the fifth key
     element is :func:`flow_tag`'s switching-configuration string (``""``
-    for plain store-and-forward).
+    for plain store-and-forward) and the sixth the collective name
+    (``""`` for pattern records, whose curves are unchanged).
     """
     cells: Dict[
-        Tuple[str, str, str, str, str], Dict[float, List[SweepRecord]]
+        Tuple[str, str, str, str, str, str], Dict[float, List[SweepRecord]]
     ] = {}
     for rec in records:
-        key = (rec.topology, rec.router, rec.pattern, rec.faults, flow_tag(rec))
+        key = (rec.topology, rec.router, rec.pattern, rec.faults,
+               flow_tag(rec), rec.collective)
         cells.setdefault(key, {}).setdefault(rec.load, []).append(rec)
-    curves: Dict[Tuple[str, str, str, str, str], List[CurvePoint]] = {}
+    curves: Dict[Tuple[str, str, str, str, str, str], List[CurvePoint]] = {}
     for key, by_load in cells.items():
         curve = []
         for load in sorted(by_load):
@@ -397,11 +481,14 @@ def saturation_curves(
                 topology=key[0],
                 router=key[1],
                 pattern=key[2],
+                collective=key[5],
                 faults=key[3],
                 switching=rs[0].switching,
                 num_vcs=rs[0].num_vcs,
                 buffer_depth=rs[0].buffer_depth,
                 flits=rs[0].flits,
+                rounds=fmean(r.rounds for r in rs),
+                round_bound=rs[0].round_bound,
                 load=load,
                 seeds=len(rs),
                 avg_latency=fmean(lats),

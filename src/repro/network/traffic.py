@@ -15,7 +15,15 @@ for non-palindromic factors).  The fallback keeps every pattern total on
 every topology, so sweeps can run the same scenario grid everywhere.
 
 The registry :data:`PATTERNS` / :func:`make_traffic` is what the sweep
-harness and the ``repro sweep`` CLI iterate over.  Flow-controlled runs
+harness and the ``repro sweep`` CLI iterate over.  The collective
+operations of :mod:`repro.network.collectives` are registered too
+(``broadcast``/``reduce``/``allgather``/``alltoall``/``ring``) in an
+*open-loop* form: the schedule's rounds become injection waves spread
+over the window (repeated from seeded roots until ``num_packets``
+triples exist), so collectives slot into the same load-sweep grids as
+every other pattern -- the *closed-loop* barriered form lives in
+:func:`repro.network.collectives.run_collective` and the sweep's
+``--collective`` axis.  Flow-controlled runs
 (wormhole / virtual cut-through) pair a traffic list with per-packet
 flit counts from :func:`flit_sizes`, aligned entry for entry.  Under a fault plan
 (:class:`~repro.network.faults.FaultPlan`), :func:`make_traffic` removes
@@ -36,6 +44,7 @@ __all__ = [
     "PATTERNS",
     "bit_reversal_traffic",
     "bursty_traffic",
+    "collective_traffic",
     "flit_sizes",
     "hotspot_traffic",
     "make_traffic",
@@ -320,6 +329,56 @@ def flit_sizes(
     return [rng.randint(lo, hi) for _ in range(num_packets)]
 
 
+def collective_traffic(
+    name: str,
+    topo: Topology,
+    num_packets: int,
+    inject_window: int,
+    seed: int = 0,
+) -> Traffic:
+    """Open-loop traffic from a collective's round schedule.
+
+    One repetition compiles the collective (from a seeded random root)
+    and maps its rounds onto injection waves inside the window: each
+    round gets a seeded wave cycle drawn from ``[0, inject_window)``,
+    the waves sorted so round order is preserved (later rounds never
+    inject before earlier ones).  Repetitions (fresh roots) accumulate
+    until ``num_packets`` triples exist; the last one is truncated.
+    This is the *offered-load* view for pattern sweeps -- it respects
+    round ordering but not delivery barriers; for true per-round
+    barriers use :func:`repro.network.collectives.run_collective`.
+    """
+    # imported lazily: collectives builds on this module's flit_sizes
+    from repro.network.collectives import collective_schedule
+
+    n = _check_args(topo, num_packets, inject_window)
+    rng = random.Random(seed)
+    out: Traffic = []
+    while len(out) < num_packets:
+        root = rng.randrange(n)
+        rounds = collective_schedule(name, topo, root=root)
+        waves = sorted(rng.randrange(inject_window) for _ in rounds)
+        rep = [
+            (wave, u, v)
+            for wave, rnd in zip(waves, rounds)
+            for u, v in rnd
+        ]
+        out.extend(rep[: num_packets - len(out)])
+    out.sort()
+    return out
+
+
+def _collective_pattern(name: str) -> Callable[..., Traffic]:
+    def pattern(
+        topo: Topology, num_packets: int, inject_window: int, seed: int = 0
+    ) -> Traffic:
+        return collective_traffic(name, topo, num_packets, inject_window, seed=seed)
+
+    pattern.__name__ = f"{name}_traffic"
+    pattern.__doc__ = f"Open-loop {name!r} collective traffic (see collective_traffic)."
+    return pattern
+
+
 PATTERNS: Dict[str, Callable[..., Traffic]] = {
     "uniform": uniform_traffic,
     "permutation": permutation_traffic,
@@ -328,6 +387,11 @@ PATTERNS: Dict[str, Callable[..., Traffic]] = {
     "tornado": tornado_traffic,
     "hotspot": hotspot_traffic,
     "bursty": bursty_traffic,
+    "broadcast": _collective_pattern("broadcast"),
+    "reduce": _collective_pattern("reduce"),
+    "allgather": _collective_pattern("allgather"),
+    "alltoall": _collective_pattern("alltoall"),
+    "ring": _collective_pattern("ring"),
 }
 
 

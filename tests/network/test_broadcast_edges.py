@@ -1,0 +1,94 @@
+"""Edge cases of the single-port broadcast scheduler and its verifier."""
+
+import pytest
+
+from repro.cubes.hypercube import hypercube
+from repro.network.broadcast import (
+    binomial_broadcast_schedule,
+    broadcast_rounds,
+    verify_schedule,
+)
+from repro.network.topology import Topology, topology_of
+from tests.conftest import path_graph
+
+
+def _single_node():
+    g = path_graph(1)
+    g.set_labels(["0"])
+    return topology_of(g, name="dot")
+
+
+def _disconnected():
+    from repro.graphs.core import Graph
+
+    g = Graph(4)
+    g.add_edge(0, 1)
+    g.add_edge(2, 3)
+    return Topology(name="split", graph=g, allow_disconnected=True)
+
+
+class TestSingleNode:
+    def test_schedule_is_empty(self):
+        topo = _single_node()
+        assert binomial_broadcast_schedule(topo, 0) == []
+
+    def test_empty_schedule_verifies(self):
+        topo = _single_node()
+        assert verify_schedule(topo, 0, [])
+
+    def test_rounds_and_bound_are_zero(self):
+        assert broadcast_rounds(_single_node(), 0) == (0, 0)
+
+
+class TestDisconnectedRoot:
+    def test_unreachable_nodes_raise_value_error(self):
+        topo = _disconnected()
+        with pytest.raises(ValueError, match="does not reach"):
+            binomial_broadcast_schedule(topo, 0)
+
+    def test_partial_coverage_fails_verification(self):
+        topo = _disconnected()
+        # a feasible schedule for the {0, 1} component still leaves the
+        # other component uninformed: coverage must fail
+        assert not verify_schedule(topo, 0, [[(0, 1)]])
+
+
+class TestVerifierRejections:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return topology_of(hypercube(3), name="Q3")
+
+    def test_duplicate_sender_per_round(self, topo):
+        assert not verify_schedule(topo, 0, [[(0, 1), (0, 2)]])
+
+    def test_uninformed_sender(self, topo):
+        assert not verify_schedule(topo, 0, [[(1, 0)]])
+
+    def test_already_informed_receiver(self, topo):
+        assert not verify_schedule(topo, 0, [[(0, 1)], [(1, 0)]])
+
+    def test_non_edge_message(self, topo):
+        # 0 ("000") and 3 ("011") differ in two bits: not a link
+        assert not verify_schedule(topo, 0, [[(0, 3)]])
+
+    def test_valid_schedule_passes(self, topo):
+        schedule = binomial_broadcast_schedule(topo, 0)
+        assert verify_schedule(topo, 0, schedule)
+
+
+class TestHypercubeBound:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_rounds_meet_ceil_log2_exactly(self, d):
+        """The binomial tree is optimal on Q_d: d rounds for 2^d nodes."""
+        topo = topology_of(hypercube(d), name=f"Q{d}")
+        rounds, bound = broadcast_rounds(topo, 0)
+        assert rounds == bound == d
+
+    def test_fibonacci_cube_is_within_one_of_the_bound(self):
+        """Gamma_6 (21 nodes): the greedy tree schedule lands at the
+        bound or just above it -- the measured gap the N1 experiment
+        reports."""
+        topo = topology_of(("11", 6))
+        rounds, bound = broadcast_rounds(topo, 0)
+        assert bound == 5
+        assert bound <= rounds <= bound + 1

@@ -1,0 +1,201 @@
+"""Differential fuzzing: both engines, random configurations, bit equality.
+
+The equivalence suite pins a fixed grid of scenarios; this harness
+generalises it: seeded random sampling over the whole configuration
+space -- topology x router x traffic pattern (collectives included) x
+switching mode x VC/buffer/flit shape x fault plan x cycle cap -- and
+asserts the reference and vectorized engines produce bit-identical
+``SimResult``s on every sampled case.  A companion pass fuzzes the
+closed-loop collective compiler the same way.
+
+Scaling and reproduction
+------------------------
+``REPRO_FUZZ_CASES`` (default 30, CI-friendly) scales the sample count;
+the nightly CI job runs 500.  ``REPRO_FUZZ_SEED`` moves the seed base.
+Every failure is reported (and appended to ``REPRO_FUZZ_LOG`` when set)
+as a one-line repro of the form ``seed=<s> topology=... router=...``;
+re-running just that case is::
+
+    REPRO_FUZZ_SEED=<s> REPRO_FUZZ_CASES=1 \
+        pytest tests/network/test_differential_fuzz.py -q
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.network.collectives import COLLECTIVES, run_collective
+from repro.network.faults import FaultPlan
+from repro.network.flowcontrol import FlowControl
+from repro.network.simulator import ReferenceSimulator, VectorizedSimulator
+from repro.network.sweep import ROUTERS, parse_topology
+from repro.network.traffic import PATTERNS, flit_sizes, make_traffic
+
+CASES = int(os.environ.get("REPRO_FUZZ_CASES", "30"))
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260730"))
+LOG_PATH = os.environ.get("REPRO_FUZZ_LOG", "")
+
+# word-addressed topologies (every router works), <= 32 nodes so the
+# reference engine stays fast enough for hundreds of cases
+TOPO_SPECS = ("Q:3", "Q:4", "11:5", "11:6", "101:4", "101:5", "1010:5")
+
+FLIT_SPECS = ("1", "2", "4", "1-4", "2-6")
+
+
+def _sample_faults(rng: random.Random, topo) -> str:
+    """A random valid fault-plan spec ('' half the time)."""
+    if rng.random() < 0.5:
+        return ""
+    tokens = []
+    for _ in range(rng.randint(1, 2)):
+        tokens.append(f"n{rng.randrange(topo.num_nodes)}@{rng.randrange(30)}")
+    if rng.random() < 0.5:
+        edges = list(topo.graph.edges())
+        u, v = edges[rng.randrange(len(edges))]
+        tokens.append(f"l{u}-{v}@{rng.randrange(30)}")
+    return ",".join(tokens)
+
+
+def sample_case(seed: int) -> dict:
+    """The deterministic case a seed denotes (the repro contract)."""
+    rng = random.Random(seed)
+    topology = rng.choice(TOPO_SPECS)
+    topo = parse_topology(topology)
+    switching = rng.choice(("sf", "wormhole", "vct"))
+    if switching == "sf":
+        num_vcs, buffer_depth, flits = 1, 0, "1"
+    else:
+        num_vcs = rng.randint(1, 3)
+        flits = rng.choice(FLIT_SPECS)
+        buffer_depth = rng.randint(1, 8)
+        if switching == "vct":  # vct buffers must fit the largest packet
+            _, _, hi = flits.rpartition("-")
+            buffer_depth = max(buffer_depth, int(hi))
+    return {
+        "topology": topology,
+        "router": rng.choice(sorted(ROUTERS)),
+        "pattern": rng.choice(sorted(PATTERNS)),
+        "switching": switching,
+        "num_vcs": num_vcs,
+        "buffer_depth": buffer_depth,
+        "flits": flits,
+        "packets": rng.randint(1, 120),
+        "window": rng.randint(1, 40),
+        "max_cycles": rng.choice((100000, 100000, 100000, 37)),
+        "faults": _sample_faults(rng, topo),
+        "traffic_seed": rng.randrange(10**6),
+        "flit_seed": rng.randrange(10**6),
+        "collective": rng.choice(sorted(COLLECTIVES)),
+        "root": rng.randrange(topo.num_nodes),
+    }
+
+
+def _describe(seed: int, cfg: dict, mode: str) -> str:
+    parts = " ".join(f"{k}={cfg[k]!r}" for k in sorted(cfg))
+    return f"seed={seed} mode={mode} {parts}"
+
+
+def run_engine_case(seed: int) -> "str | None":
+    """One differential case; the repro line on divergence, else None."""
+    cfg = sample_case(seed)
+    topo = parse_topology(cfg["topology"])
+    router = ROUTERS[cfg["router"]]()
+    plan = (
+        FaultPlan.parse(cfg["faults"], num_nodes=topo.num_nodes)
+        if cfg["faults"] else None
+    )
+    traffic = make_traffic(
+        cfg["pattern"], topo, cfg["packets"], cfg["window"],
+        seed=cfg["traffic_seed"], faults=plan,
+    )
+    if cfg["switching"] == "sf":
+        flow, sizes = "sf", 1
+    else:
+        flow = FlowControl(
+            switching=cfg["switching"],
+            buffer_depth=cfg["buffer_depth"],
+            num_vcs=cfg["num_vcs"],
+        )
+        sizes = flit_sizes(len(traffic), cfg["flits"], seed=cfg["flit_seed"])
+    kwargs = dict(
+        max_cycles=cfg["max_cycles"], faults=plan, switching=flow, flits=sizes
+    )
+    ref = ReferenceSimulator(topo, router).run(traffic, **kwargs)
+    vec = VectorizedSimulator(topo, router).run(traffic, **kwargs)
+    if ref != vec:
+        return _describe(seed, cfg, "engine")
+    return None
+
+
+def run_collective_case(seed: int) -> "str | None":
+    """One closed-loop collective case through both engines."""
+    cfg = sample_case(seed)
+    topo = parse_topology(cfg["topology"])
+    router = ROUTERS[cfg["router"]]()
+    plan = (
+        FaultPlan.parse(cfg["faults"], num_nodes=topo.num_nodes)
+        if cfg["faults"] else None
+    )
+    flow = "sf" if cfg["switching"] == "sf" else FlowControl(
+        switching=cfg["switching"],
+        buffer_depth=cfg["buffer_depth"],
+        num_vcs=cfg["num_vcs"],
+    )
+    kwargs = dict(
+        root=cfg["root"], router=router, switching=flow,
+        flits=1 if cfg["switching"] == "sf" else cfg["flits"],
+        flit_seed=cfg["flit_seed"], faults=plan, max_cycles=cfg["max_cycles"],
+    )
+    ref = run_collective(topo, cfg["collective"], engine="reference", **kwargs)
+    vec = run_collective(topo, cfg["collective"], engine="vectorized", **kwargs)
+    if ref != vec:
+        return _describe(seed, cfg, "collective")
+    return None
+
+
+def _report(failures):
+    if not failures:
+        return
+    if LOG_PATH:
+        with open(LOG_PATH, "a") as fh:
+            for line in failures:
+                fh.write(line + "\n")
+    pytest.fail(
+        f"{len(failures)} differential-fuzz case(s) diverged:\n"
+        + "\n".join(failures)
+    )
+
+
+def test_sampler_is_deterministic():
+    """The seed IS the repro: the same seed must denote the same case."""
+    assert sample_case(BASE_SEED) == sample_case(BASE_SEED)
+    assert sample_case(BASE_SEED) != sample_case(BASE_SEED + 1)
+
+
+def test_differential_fuzz_engines():
+    """CASES random configurations, bit-identical SimResults required."""
+    _report(
+        [
+            line
+            for line in (
+                run_engine_case(BASE_SEED + i) for i in range(CASES)
+            )
+            if line
+        ]
+    )
+
+
+def test_differential_fuzz_collectives():
+    """A smaller closed-loop pass: the collective compiler's barriers and
+    results must match across engines on random configurations."""
+    cases = max(1, CASES // 5)
+    _report(
+        [
+            line
+            for line in (
+                run_collective_case(BASE_SEED + i) for i in range(cases)
+            )
+            if line
+        ]
+    )

@@ -1,0 +1,101 @@
+"""Direct unit tests for the Hamiltonian path/cycle search.
+
+Previously exercised only indirectly (one gray-code usage); here the
+search gets its own contract: existence on the hypercube family,
+known-non-Hamiltonian Fibonacci cubes, node-budget exhaustion, and
+edge-by-edge validation of every returned path.
+"""
+
+import pytest
+
+from repro.cubes.hypercube import hypercube
+from repro.graphs.core import Graph
+from repro.network.hamilton import find_hamiltonian_cycle, find_hamiltonian_path
+from repro.network.topology import topology_of
+
+
+def _assert_valid_path(g: Graph, path):
+    """A Hamiltonian path visits every vertex once over real edges."""
+    assert sorted(path) == list(range(g.num_vertices))
+    for u, v in zip(path, path[1:]):
+        assert g.has_edge(u, v), (u, v)
+
+
+class TestHypercubes:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_q_d_has_a_hamiltonian_path(self, d):
+        g = hypercube(d)
+        path = find_hamiltonian_path(g)
+        assert path is not None
+        _assert_valid_path(g, path)
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_q_d_has_a_hamiltonian_cycle(self, d):
+        """Gray codes close: Q_d is Hamiltonian for every d >= 2."""
+        g = hypercube(d)
+        cycle = find_hamiltonian_cycle(g)
+        assert cycle is not None
+        _assert_valid_path(g, cycle)
+        assert g.has_edge(cycle[-1], cycle[0])
+
+    def test_q_1_has_no_cycle(self):
+        assert find_hamiltonian_cycle(hypercube(1)) is None
+
+
+class TestFibonacciCubes:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6])
+    def test_gamma_d_has_a_hamiltonian_path(self, d):
+        """The Liu--Hsu--Chung claim: Q_d(11) always has a path."""
+        g = topology_of(("11", d)).graph
+        path = find_hamiltonian_path(g)
+        assert path is not None
+        _assert_valid_path(g, path)
+
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_small_gamma_d_has_no_hamiltonian_cycle(self, d):
+        """Known non-Hamiltonian members: Gamma_2 is a 3-vertex path and
+        Gamma_3 has 5 vertices -- odd order in a bipartite graph, so no
+        Hamiltonian cycle can exist; the exact search must prove it."""
+        g = topology_of(("11", d)).graph
+        assert g.num_vertices in (3, 5)
+        assert find_hamiltonian_cycle(g) is None
+
+
+class TestNonHamiltonian:
+    def test_star_graph_has_no_path(self):
+        g = Graph(5)
+        for leaf in range(1, 5):
+            g.add_edge(0, leaf)
+        assert find_hamiltonian_path(g) is None
+        assert find_hamiltonian_cycle(g) is None
+
+
+class TestBudget:
+    def test_exhausted_budget_raises_runtime_error(self):
+        g = hypercube(4)
+        with pytest.raises(RuntimeError, match="node budget"):
+            find_hamiltonian_path(g, node_budget=1)
+        with pytest.raises(RuntimeError, match="node budget"):
+            find_hamiltonian_cycle(g, node_budget=1)
+
+    def test_ample_budget_is_not_consumed_across_calls(self):
+        g = hypercube(3)
+        assert find_hamiltonian_path(g, node_budget=10_000) is not None
+        assert find_hamiltonian_path(g, node_budget=10_000) is not None
+
+
+class TestDegenerate:
+    def test_empty_graph(self):
+        assert find_hamiltonian_path(Graph(0)) is None
+        assert find_hamiltonian_cycle(Graph(0)) is None
+
+    def test_single_vertex_path(self):
+        assert find_hamiltonian_path(Graph(1)) == [0]
+        assert find_hamiltonian_cycle(Graph(1)) is None
+
+    def test_two_vertices(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        path = find_hamiltonian_path(g)
+        assert path is not None and sorted(path) == [0, 1]
+        assert find_hamiltonian_cycle(g) is None

@@ -68,12 +68,114 @@ class TestNearestRankP95:
         assert nearest_rank_p95(list(range(1, 101))) == 95.0
         assert nearest_rank_p95([7]) == 7.0
         assert nearest_rank_p95([3, 1, 2]) == 3.0  # sorts internally
+
+    def test_empty_sample_is_defined_as_zero(self):
+        """The documented contract for zero-delivered points: an empty
+        latency sample reports 0.0, for both list and tuple inputs."""
+        assert nearest_rank_p95([]) == 0.0
         assert nearest_rank_p95(()) == 0.0
 
     def test_never_exceeds_the_max(self):
         for n in range(1, 60):
             lat = list(range(n))
             assert nearest_rank_p95(lat) <= max(lat)
+
+
+class TestZeroDeliveredPoints:
+    def test_all_destinations_dead_reports_zero_latencies(self):
+        """Every packet routed to a node dead at cycle 0 drops at
+        injection: delivered == 0 with injected > 0 must condense to 0.0
+        latency columns, not an IndexError mid-grid."""
+        rec = run_point(PointSpec(
+            topology="Q:2", load=1.0, inject_window=8,
+            faults="n1,n2,n3",
+        ))
+        assert rec.injected > 0
+        assert rec.delivered == 0
+        assert rec.delivery_rate == 0.0
+        assert rec.avg_latency == 0.0
+        assert rec.p95_latency == 0.0
+        assert rec.max_latency == 0
+
+    def test_all_sources_dead_is_an_empty_point(self):
+        """Killing every node silences every source: nothing is even
+        injected, and the point still condenses cleanly."""
+        rec = run_point(PointSpec(
+            topology="Q:2", load=1.0, inject_window=8,
+            faults="n0,n1,n2,n3",
+        ))
+        assert rec.injected == 0 and rec.delivered == 0
+        assert rec.p95_latency == 0.0
+        # delivery_rate is vacuously 1.0 on an empty point (0 of 0)
+        assert rec.delivery_rate == 1.0
+
+
+class TestCollectiveAxis:
+    def test_broadcast_point(self):
+        rec = run_point(PointSpec(topology="Q:4", collective="broadcast"))
+        assert rec.collective == "broadcast"
+        assert rec.pattern == "-"
+        assert rec.rounds == rec.round_bound == 4
+        assert rec.injected == rec.delivered == 15  # n - 1 tree messages
+        assert rec.delivery_rate == 1.0
+
+    def test_seed_picks_the_root(self):
+        """The record must match a direct run_collective at root = seed
+        mod n -- comparing outcome fields, not the seed column itself."""
+        from repro.network.collectives import run_collective
+        from repro.network.sweep import parse_topology as pt
+
+        topo = pt("11:6")
+        rec = run_point(PointSpec(topology="11:6", collective="broadcast", seed=5))
+        res = run_collective(topo, "broadcast", root=5 % topo.num_nodes)
+        assert rec.rounds == res.rounds
+        assert rec.cycles == res.result.cycles
+        assert rec.avg_latency == res.result.avg_latency
+        assert rec.injected == res.result.injected
+
+    def test_pattern_points_have_no_rounds(self):
+        rec = run_point(PointSpec(topology="Q:3", load=0.3, inject_window=8))
+        assert rec.collective == "" and rec.rounds == 0 and rec.round_bound == 0
+
+    def test_collective_grid_normalises_pattern_and_load_axes(self):
+        """One collective entry contributes exactly one point per
+        (topology, router, seed) cell, regardless of the pattern/load
+        grid around it."""
+        records = run_sweep(
+            ["Q:4"], patterns=("uniform", "tornado"), loads=(0.2, 0.5),
+            collectives=("", "broadcast"), inject_window=8,
+        )
+        pattern_recs = [r for r in records if not r.collective]
+        coll_recs = [r for r in records if r.collective]
+        assert len(pattern_recs) == 2 * 2
+        assert len(coll_recs) == 1
+        assert coll_recs[0].load == 1.0 and coll_recs[0].pattern == "-"
+        curves = saturation_curves(records)
+        assert len(curves) == 3
+        coll_keys = [k for k in curves if k[5]]
+        assert coll_keys == [("Q_4", "bfs", "-", "", "", "broadcast")]
+        (point,) = curves[coll_keys[0]]
+        assert point.rounds == 4.0 and point.round_bound == 4
+
+    def test_collective_under_wormhole_and_faults(self):
+        rec = run_point(PointSpec(
+            topology="11:5", collective="allgather", faults="n2@3",
+            switching="wormhole", num_vcs=2, buffer_depth=4, flits="1-4",
+        ))
+        assert rec.collective == "allgather"
+        assert rec.rounds > rec.round_bound  # tree fallback: gather + scatter
+        assert rec.dropped > 0  # the dead node loses tree messages
+        assert not rec.deadlocked
+
+    def test_unknown_collective_raises_eagerly(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            run_point(PointSpec(topology="Q:3", collective="gossip"))
+        with pytest.raises(ValueError, match="unknown collective"):
+            run_sweep(["Q:3"], collectives=("gossip",))
+
+    def test_collective_points_are_reproducible(self):
+        spec = PointSpec(topology="11:5", collective="ring", seed=3)
+        assert run_point(spec) == run_point(spec)
 
 
 class TestSeedAggregation:
@@ -339,6 +441,32 @@ class TestSweepCli:
             rows = list(csv.DictReader(fh))
         assert {r["switching"] for r in rows} == {"sf", "wormhole"}
         assert "stalled" in rows[0] and "deadlocked" in rows[0]
+
+    def test_collective_axis_cli(self, tmp_path, capsys):
+        csv_path = tmp_path / "coll.csv"
+        rc = main([
+            "sweep",
+            "--topo", "Q:4",
+            "--topo", "11:5",
+            "--collective", "broadcast",
+            "--collective", "alltoall",
+            "--seeds", "0,1",
+            "--csv", str(csv_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coll[broadcast: 4 rounds, bound 4]" in out
+        assert "coll[alltoall:" in out
+        with open(csv_path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2 * 2 * 2  # topo x collective x seed
+        assert {r["collective"] for r in rows} == {"broadcast", "alltoall"}
+        assert all(int(r["rounds"]) >= int(r["round_bound"]) for r in rows)
+
+    def test_bad_collective_is_a_clean_error(self, capsys):
+        rc = main(["sweep", "--topo", "Q:3", "--collective", "gossip"])
+        assert rc == 2
+        assert "collective" in capsys.readouterr().err
 
     def test_bad_switching_is_a_clean_error(self, capsys):
         rc = main(["sweep", "--topo", "Q:3", "--switching", "warp"])
