@@ -4,7 +4,18 @@ Drives the sweep harness over a Fibonacci-cube-vs-hypercube grid across
 four traffic patterns and rising offered load, checks the physics
 (latency monotone in load, hotspot worse than uniform), and times the
 grid as one benchmark unit.
+
+The batched-sweep gate (``test_bench_sweep_batched_speedup``) is the
+acceptance claim of the batch axis: packing the standard multi-seed grid
+into lock-step :class:`~repro.network.batch.BatchedSimulator` runs must
+deliver at least 3x the sweep throughput of the point-by-point harness
+while producing bit-identical records.  It is a *timing* gate and
+belongs to the benchmark-regression CI job (uploaded as
+``BENCH_batch.json``), not the untimed smoke pass.
 """
+
+import time
+from dataclasses import replace
 
 from repro.network.sweep import run_sweep, saturation_curves
 
@@ -16,6 +27,11 @@ GRID = dict(
     loads=(0.1, 0.3, 0.6),
     inject_window=32,
 )
+
+# the standard grid replicated over four seeds: the K-replication shape
+# the batch axis exists for (96 points, 48 co-batched per topology)
+SEEDED_GRID = dict(GRID, seeds=(0, 1, 2, 3))
+BATCH = 48
 
 
 def test_bench_n2_saturation_grid(benchmark):
@@ -52,3 +68,55 @@ def test_bench_n2_parallel_matches_serial(benchmark):
         inject_window=16, processes=2,
     )
     assert parallel == serial
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_bench_sweep_batched_speedup(benchmark):
+    """The batch-axis acceptance gate: the standard multi-seed grid runs
+    at least 3x faster co-batched than point-by-point, with records
+    bit-identical apart from the ``batch`` bookkeeping column."""
+    unbatched = run_sweep(**SEEDED_GRID)
+    batched = benchmark(lambda: run_sweep(batch=BATCH, **SEEDED_GRID))
+    assert [replace(r, batch=1) for r in batched] == unbatched
+
+    # best of three on each side: one noisy-neighbour stall must not
+    # fail the assert in either direction
+    seq_seconds = min(
+        _timed(lambda: run_sweep(**SEEDED_GRID)) for _ in range(3)
+    )
+    bat_seconds = min(
+        _timed(lambda: run_sweep(batch=BATCH, **SEEDED_GRID)) for _ in range(3)
+    )
+    speedup = seq_seconds / bat_seconds
+    print_table(
+        f"Sweep throughput, standard grid x 4 seeds ({len(unbatched)} points)",
+        ["harness", "seconds", "points/s", "speedup"],
+        [
+            ("point-by-point", f"{seq_seconds:.3f}",
+             f"{len(unbatched) / seq_seconds:.0f}", "1.0x"),
+            (f"batched (K<={BATCH})", f"{bat_seconds:.3f}",
+             f"{len(unbatched) / bat_seconds:.0f}", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= 3.0, f"batched sweep only {speedup:.1f}x faster"
+
+
+def test_bench_batched_grid_with_faults_matches(benchmark):
+    """Batching must survive the awkward axes too: a mixed grid with a
+    fault plan and multiple routers produces identical records batched
+    or not (faulted points co-batch -- only their route tables stay
+    per-point)."""
+    grid = dict(
+        topologies=["11:6"], patterns=("uniform", "hotspot"),
+        routers=("bfs", "adaptive"), loads=(0.2, 0.5),
+        faults=("", "rand2s3"), inject_window=16,
+    )
+    serial = run_sweep(**grid)
+    batched = benchmark(lambda: run_sweep(batch=16, **grid))
+    assert [replace(r, batch=1) for r in batched] == serial
+    assert {r.batch for r in batched} == {16}

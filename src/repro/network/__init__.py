@@ -28,9 +28,14 @@ generalized Fibonacci cube:
 - :mod:`repro.network.traffic` -- seeded, topology-aware traffic pattern
   library (uniform, permutation, transpose, bit-reversal, tornado,
   hotspot, bursty);
+- :mod:`repro.network.batch` -- the batch axis over *runs*: K
+  independent replications advance in one lock-step vectorized loop
+  (disjoint link-id spaces, shared route tables), bit-identical to K
+  sequential runs;
 - :mod:`repro.network.sweep` -- multiprocessing sweep harness producing
   saturation curves over (topology x router x pattern x faults x load)
-  grids;
+  grids, with ``batch > 1`` packing compatible points into lock-step
+  batches;
 - :mod:`repro.network.faults` -- fault model: static surgery reports and
   dynamic :class:`FaultPlan` schedules the simulator engines replay
   (masked routing epochs, in-flight drops, adaptive detours);
@@ -76,6 +81,13 @@ from repro.network.simulator import (
     VectorizedSimulator,
     uniform_traffic,
 )
+from repro.network.batch import (
+    BATCHED_MODES,
+    BatchItem,
+    BatchedSimulator,
+    batches_natively,
+    run_batch,
+)
 from repro.network.traffic import (
     PATTERNS,
     bit_reversal_traffic,
@@ -96,6 +108,7 @@ from repro.network.sweep import (
     flow_tag,
     nearest_rank_p95,
     parse_topology,
+    run_batch_points,
     run_point,
     run_sweep,
     saturation_curves,
@@ -135,6 +148,11 @@ __all__ = [
     "route_stats",
     "ReferenceSimulator",
     "VectorizedSimulator",
+    "BATCHED_MODES",
+    "BatchItem",
+    "BatchedSimulator",
+    "batches_natively",
+    "run_batch",
     "PATTERNS",
     "bit_reversal_traffic",
     "bursty_traffic",
@@ -149,6 +167,7 @@ __all__ = [
     "SweepRecord",
     "nearest_rank_p95",
     "parse_topology",
+    "run_batch_points",
     "run_point",
     "run_sweep",
     "saturation_curves",

@@ -247,12 +247,76 @@ def _build_table(topo: Topology, router, pairs) -> RouteTable:
     return RouteTable.build(topo, router, pairs)
 
 
+def _fifo_append(
+    succ: np.ndarray,
+    qhead: np.ndarray,
+    qtail: np.ndarray,
+    qlen: np.ndarray,
+    pids: np.ndarray,
+    links: np.ndarray,
+) -> None:
+    """Append packets to per-link FIFOs stored as intrusive linked lists
+    (``qhead``/``qtail``/``qlen`` per link, a ``succ`` pointer per
+    packet); arrival order within one call is ``(link, pid)``.
+
+    This *is* the queue discipline both the per-run vectorized loop and
+    the batched lock-step loop rely on -- one implementation, so the
+    tie-break can never drift between them.
+    """
+    order = np.lexsort((pids, links))
+    p, ln = pids[order], links[order]
+    boundary = np.ones(p.size, dtype=bool)
+    boundary[1:] = ln[1:] != ln[:-1]
+    succ[p] = -1
+    inner = ~boundary[1:]
+    succ[p[:-1][inner]] = p[1:][inner]
+    glinks = ln[boundary]
+    gheads = p[boundary]
+    gtails = p[np.concatenate((boundary[1:], [True]))]
+    starts = np.flatnonzero(boundary)
+    gsizes = np.diff(np.concatenate((starts, [p.size])))
+    was_empty = qhead[glinks] == -1
+    qhead[glinks[was_empty]] = gheads[was_empty]
+    succ[qtail[glinks[~was_empty]]] = gheads[~was_empty]
+    qtail[glinks] = gtails
+    qlen[glinks] += gsizes
+
+
+def _link_arrays(
+    num_nodes: int, table: RouteTable
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row directed-link-id sequences and the link code book:
+    ``(link_seq, link_offsets, link_codes)``.
+
+    Link ids are ranks of the ``u * n + v`` codes of the directed edges
+    actually used, so the per-cycle ``bincount`` stays dense;
+    ``link_codes`` is the sorted code array those ranks index (used to
+    resolve fault plans onto link ids).
+    """
+    data, offsets = table.route_data, table.route_offsets
+    if data.size == 0:
+        return (np.empty(0, dtype=np.int64),
+                np.zeros(len(offsets), dtype=np.int64),
+                np.empty(0, dtype=np.int64))
+    last = np.zeros(data.size, dtype=bool)
+    last[offsets[1:] - 1] = True
+    valid = ~last[:-1]
+    codes = data[:-1][valid] * num_nodes + data[1:][valid]
+    uniq = np.unique(codes)
+    link_seq = np.searchsorted(uniq, codes)
+    lengths = offsets[1:] - offsets[:-1]
+    link_offsets = np.zeros(len(offsets), dtype=np.int64)
+    np.cumsum(lengths - 1, out=link_offsets[1:])
+    return link_seq, link_offsets, uniq
+
+
 def _prepare(
     topo: Topology,
     router,
     traffic: Sequence[Tuple[int, int, int]],
     route_table: Optional[RouteTable],
     faults: Optional[FaultPlan] = None,
+    dist_cache: Optional[Dict[int, np.ndarray]] = None,
 ) -> _Prepared:
     arr = np.asarray(traffic, dtype=np.int64).reshape(-1, 3)
     if arr.size and int(arr[:, 0].min()) < 0:
@@ -262,10 +326,14 @@ def _prepare(
         )
     perm = np.argsort(arr[:, 0], kind="stable")
     arr = arr[perm]
+    if dist_cache is None:
+        # healthy-topology BFS distances; callers running many runs over
+        # one topology (the batch engine) pass a shared cache instead
+        dist_cache = {}
     if faults is not None and faults.num_events:
         if route_table is not None:
             raise ValueError("pass either route_table or faults, not both")
-        return _prepare_faulted(topo, router, arr, faults, perm)
+        return _prepare_faulted(topo, router, arr, faults, perm, dist_cache)
     n = topo.num_nodes
     codes, inverse = np.unique(arr[:, 1] * n + arr[:, 2], return_inverse=True)
     pairs = [(int(c) // n, int(c) % n) for c in codes]
@@ -283,7 +351,6 @@ def _prepare(
     routed = rows >= 0
     lengths = table.lengths()
     mis = np.zeros(table.num_routes, dtype=np.int64)
-    dist_cache: Dict[int, np.ndarray] = {}
     for pair, r in table.pair_row.items():
         if r >= 0:
             mis[r] = _misroute_hops(
@@ -302,7 +369,7 @@ def _prepare(
 
 def _prepare_faulted(
     topo: Topology, router, arr: np.ndarray, faults: FaultPlan,
-    perm: np.ndarray,
+    perm: np.ndarray, dist_cache: Dict[int, np.ndarray],
 ) -> _Prepared:
     """Epoch-split preparation: every fault cycle starts a routing epoch.
 
@@ -310,7 +377,9 @@ def _prepare_faulted(
     every fault already active (pairs with a dead endpoint drop at
     injection), then the per-epoch tables merge into one flat table --
     rows are unique per (epoch, pair), so the same pair can legitimately
-    route differently before and after a failure.
+    route differently before and after a failure.  ``dist_cache`` holds
+    *healthy*-topology distances (epoch-independent), so it is safe to
+    share across runs and fault plans on one topology.
     """
     faults.validate(topo)
     n = topo.num_nodes
@@ -320,7 +389,6 @@ def _prepare_faulted(
     chunks: List[np.ndarray] = []
     offsets = [0]
     mis: List[int] = []
-    dist_cache: Dict[int, np.ndarray] = {}  # healthy distances, epoch-independent
     for e in np.unique(epoch):
         at = int(boundaries[e - 1]) if e > 0 else -1
         view = topo.with_faults(faults, at_cycle=at) if e > 0 else topo
@@ -564,30 +632,9 @@ class VectorizedSimulator:
     def _link_arrays(
         self, table: RouteTable
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-row directed-link-id sequences and the link code book:
-        ``(link_seq, link_offsets, link_codes)``.
-
-        Link ids are ranks of the ``u * n + v`` codes of the directed
-        edges actually used, so the per-cycle ``bincount`` stays dense;
-        ``link_codes`` is the sorted code array those ranks index (used
-        to resolve fault plans onto link ids).
-        """
-        data, offsets = table.route_data, table.route_offsets
-        if data.size == 0:
-            return (np.empty(0, dtype=np.int64),
-                    np.zeros(len(offsets), dtype=np.int64),
-                    np.empty(0, dtype=np.int64))
-        n = self.topo.num_nodes
-        last = np.zeros(data.size, dtype=bool)
-        last[offsets[1:] - 1] = True
-        valid = ~last[:-1]
-        codes = data[:-1][valid] * n + data[1:][valid]
-        uniq = np.unique(codes)
-        link_seq = np.searchsorted(uniq, codes)
-        lengths = offsets[1:] - offsets[:-1]
-        link_offsets = np.zeros(len(offsets), dtype=np.int64)
-        np.cumsum(lengths - 1, out=link_offsets[1:])
-        return link_seq, link_offsets, uniq
+        """See the module-level :func:`_link_arrays` (kept as a method
+        for backward compatibility)."""
+        return _link_arrays(self.topo.num_nodes, table)
 
     def run(
         self,
@@ -650,31 +697,12 @@ class VectorizedSimulator:
         pos = np.zeros(num, dtype=np.int64)
         # per-link FIFOs as intrusive linked lists over pid arrays: a queue
         # is (qhead, qtail, qlen) per link plus a succ pointer per packet,
-        # so append and head-pop are O(1) gathers with no queue objects
+        # so append (_fifo_append) and head-pop are O(1) gathers with no
+        # queue objects
         succ = np.full(num, -1, dtype=np.int64)
         qhead = np.full(num_links, -1, dtype=np.int64)
         qtail = np.full(num_links, -1, dtype=np.int64)
         qlen = np.zeros(num_links, dtype=np.int64)
-
-        def append(pids: np.ndarray, links: np.ndarray) -> None:
-            """Append packets to link queues; FIFO order is (link, pid)."""
-            order = np.lexsort((pids, links))
-            p, ln = pids[order], links[order]
-            boundary = np.ones(p.size, dtype=bool)
-            boundary[1:] = ln[1:] != ln[:-1]
-            succ[p] = -1
-            inner = ~boundary[1:]
-            succ[p[:-1][inner]] = p[1:][inner]
-            glinks = ln[boundary]
-            gheads = p[boundary]
-            gtails = p[np.concatenate((boundary[1:], [True]))]
-            starts = np.flatnonzero(boundary)
-            gsizes = np.diff(np.concatenate((starts, [p.size])))
-            was_empty = qhead[glinks] == -1
-            qhead[glinks[was_empty]] = gheads[was_empty]
-            succ[qtail[glinks[~was_empty]]] = gheads[~was_empty]
-            qtail[glinks] = gtails
-            qlen[glinks] += gsizes
 
         in_flight = 0
         next_pid = 0
@@ -693,7 +721,8 @@ class VectorizedSimulator:
                 delivered_at[zero_hop] = inject[zero_hop]
                 fresh = fresh[nhops[fresh] > 0]
                 if fresh.size:
-                    append(fresh, link_seq[first_link_at[fresh]])
+                    _fifo_append(succ, qhead, qtail, qlen,
+                                 fresh, link_seq[first_link_at[fresh]])
                     in_flight += fresh.size
                 last_busy = cycle
             if in_flight:
@@ -721,7 +750,8 @@ class VectorizedSimulator:
                 delivered_at[done] = cycle + 1
                 in_flight -= done.size
                 if moving.size:
-                    append(moving, link_seq[first_link_at[moving] + pos[moving]])
+                    _fifo_append(succ, qhead, qtail, qlen, moving,
+                                 link_seq[first_link_at[moving] + pos[moving]])
                 last_busy = cycle
                 cycle += 1
             elif next_pid < num:

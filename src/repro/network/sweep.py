@@ -8,6 +8,15 @@ topology.  This module runs those grids at scale:
 - a sweep point is a fully picklable :class:`PointSpec` (topology,
   router and fault plan are *names/specs*, rebuilt inside the worker),
   so grids parallelise with :mod:`multiprocessing` across cores;
+- ``batch > 1`` packs compatible points -- store-and-forward pattern
+  points sharing a topology and cycle cap -- into lock-step batches for
+  :class:`~repro.network.batch.BatchedSimulator`, so K replications
+  advance in *one* vectorized cycle loop and share one route-table
+  build; multiprocessing then distributes whole batches, not points.
+  Results are bit-identical to the unbatched sweep (the ``batch``
+  column records each record's co-batch size); wormhole/vct and
+  collective points do not batch natively and run point-by-point (see
+  :data:`repro.network.batch.BATCHED_MODES`);
 - each point generates seeded traffic from :mod:`repro.network.traffic`,
   runs the vectorized simulator -- under the point's
   :class:`~repro.network.faults.FaultPlan` when one is given -- and
@@ -51,6 +60,7 @@ from functools import lru_cache
 from statistics import fmean, pstdev
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.network.batch import BatchedSimulator, BatchItem
 from repro.network.collectives import COLLECTIVES, run_collective
 from repro.network.faults import FaultPlan
 from repro.network.flowcontrol import SWITCHING_MODES, FlowControl
@@ -73,6 +83,7 @@ __all__ = [
     "flow_tag",
     "nearest_rank_p95",
     "parse_topology",
+    "run_batch_points",
     "run_point",
     "run_sweep",
     "saturation_curves",
@@ -179,7 +190,10 @@ class SweepRecord:
     round count against the single-port ``ceil(log2 n)`` bound (both
     zero for pattern points).  Zero-delivered points (every packet
     dropped, or nothing injected at all) report ``0.0`` latency columns
-    by definition -- see :func:`nearest_rank_p95`.
+    by definition -- see :func:`nearest_rank_p95`.  ``batch`` is the
+    number of replications advanced in the same lock-step simulator
+    batch as this point (1 = the point ran alone); every other column
+    is bit-identical whatever the batching.
     """
 
     topology: str
@@ -210,71 +224,60 @@ class SweepRecord:
     max_latency: int
     throughput: float
     delivery_rate: float
+    batch: int = 1
 
 
-def run_point(spec: PointSpec) -> SweepRecord:
-    """Run one grid point: build, generate, simulate, condense.
-
-    Pattern points generate ``load``-normalised open-loop traffic;
-    collective points (``spec.collective`` non-empty) compile and run
-    the closed-loop barriered collective instead, the seed choosing the
-    root.
-    """
-    topo = parse_topology(spec.topology)
+def _resolve_router(name: str) -> Callable[[], object]:
     try:
-        router = ROUTERS[spec.router]()
+        return ROUTERS[name]
     except KeyError:
         raise ValueError(
-            f"unknown router {spec.router!r}; choose from {sorted(ROUTERS)}"
+            f"unknown router {name!r}; choose from {sorted(ROUTERS)}"
         ) from None
+
+
+def _point_plan(spec: PointSpec, topo: Topology) -> Optional[FaultPlan]:
     if spec.load <= 0:
         raise ValueError(f"load must be positive, got {spec.load}")
-    plan: Optional[FaultPlan] = None
-    if spec.faults:
-        plan = FaultPlan.parse(spec.faults, num_nodes=topo.num_nodes).validate(topo)
-    pipelined = spec.switching != "sf"
-    if pipelined:
-        flow: "str | FlowControl" = FlowControl(
+    if not spec.faults:
+        return None
+    return FaultPlan.parse(spec.faults, num_nodes=topo.num_nodes).validate(topo)
+
+
+def _point_flow(spec: PointSpec) -> "str | FlowControl":
+    if spec.switching != "sf":
+        # FlowControl itself rejects unknown modes and bad depths/VCs
+        return FlowControl(
             switching=spec.switching,
             buffer_depth=spec.buffer_depth,
             num_vcs=spec.num_vcs,
         )
-    else:
-        if spec.switching not in SWITCHING_MODES:
-            raise ValueError(
-                f"unknown switching mode {spec.switching!r}; "
-                f"choose from {SWITCHING_MODES}"
-            )
-        flow = "sf"
-    rounds = round_bound = 0
-    if spec.collective:
-        if spec.collective not in COLLECTIVES:
-            raise ValueError(
-                f"unknown collective {spec.collective!r}; "
-                f"choose from {sorted(COLLECTIVES)}"
-            )
-        coll = run_collective(
-            topo, spec.collective, root=spec.seed % topo.num_nodes,
-            router=router, engine=VectorizedSimulator, switching=flow,
-            flits=spec.flits if pipelined else 1, flit_seed=spec.seed,
-            faults=plan, max_cycles=spec.max_cycles,
-        )
-        result = coll.result
-        rounds, round_bound = coll.rounds, coll.round_bound
-    else:
-        num_packets = max(1, round(spec.load * topo.num_nodes * spec.inject_window))
-        traffic = make_traffic(
-            spec.pattern, topo, num_packets, spec.inject_window, seed=spec.seed,
-            faults=plan,
-        )
-        if pipelined:
-            sizes: "int | list" = flit_sizes(len(traffic), spec.flits, seed=spec.seed)
-        else:
-            sizes = 1
-        result = VectorizedSimulator(topo, router).run(
-            traffic, max_cycles=spec.max_cycles, faults=plan,
-            switching=flow, flits=sizes,
-        )
+    return "sf"
+
+
+def _point_traffic(
+    spec: PointSpec, topo: Topology, plan: Optional[FaultPlan]
+) -> List[Tuple[int, int, int]]:
+    num_packets = max(1, round(spec.load * topo.num_nodes * spec.inject_window))
+    return make_traffic(
+        spec.pattern, topo, num_packets, spec.inject_window, seed=spec.seed,
+        faults=plan,
+    )
+
+
+def _condense(
+    spec: PointSpec,
+    topo: Topology,
+    plan: Optional[FaultPlan],
+    result,
+    rounds: int = 0,
+    round_bound: int = 0,
+    batch: int = 1,
+) -> SweepRecord:
+    """Flatten one simulation outcome into a :class:`SweepRecord` (the
+    single condensation path, shared by every runner so batched and
+    unbatched records cannot diverge)."""
+    pipelined = spec.switching != "sf"
     return SweepRecord(
         topology=topo.name,
         router=spec.router,
@@ -304,7 +307,104 @@ def run_point(spec: PointSpec) -> SweepRecord:
         max_latency=result.max_latency,
         throughput=result.throughput,
         delivery_rate=result.delivery_rate,
+        batch=batch,
     )
+
+
+def run_point(spec: PointSpec) -> SweepRecord:
+    """Run one grid point: build, generate, simulate, condense.
+
+    Pattern points generate ``load``-normalised open-loop traffic;
+    collective points (``spec.collective`` non-empty) compile and run
+    the closed-loop barriered collective instead, the seed choosing the
+    root.
+    """
+    topo = parse_topology(spec.topology)
+    router = _resolve_router(spec.router)()
+    plan = _point_plan(spec, topo)
+    pipelined = spec.switching != "sf"
+    flow = _point_flow(spec)
+    rounds = round_bound = 0
+    if spec.collective:
+        if spec.collective not in COLLECTIVES:
+            raise ValueError(
+                f"unknown collective {spec.collective!r}; "
+                f"choose from {sorted(COLLECTIVES)}"
+            )
+        coll = run_collective(
+            topo, spec.collective, root=spec.seed % topo.num_nodes,
+            router=router, engine=VectorizedSimulator, switching=flow,
+            flits=spec.flits if pipelined else 1, flit_seed=spec.seed,
+            faults=plan, max_cycles=spec.max_cycles,
+        )
+        result = coll.result
+        rounds, round_bound = coll.rounds, coll.round_bound
+    else:
+        traffic = _point_traffic(spec, topo, plan)
+        if pipelined:
+            sizes: "int | list" = flit_sizes(len(traffic), spec.flits, seed=spec.seed)
+        else:
+            sizes = 1
+        result = VectorizedSimulator(topo, router).run(
+            traffic, max_cycles=spec.max_cycles, faults=plan,
+            switching=flow, flits=sizes,
+        )
+    return _condense(spec, topo, plan, result, rounds, round_bound)
+
+
+def _spec_batchable(spec: PointSpec) -> bool:
+    """Points the lock-step batch engine advances natively: open-loop
+    store-and-forward pattern points (collectives are closed-loop,
+    wormhole/vct fall back to sequential runs -- see
+    :data:`repro.network.batch.BATCHED_MODES`)."""
+    return not spec.collective and spec.switching == "sf"
+
+
+def run_batch_points(specs: Sequence[PointSpec]) -> List[SweepRecord]:
+    """Run a group of grid points, co-batching the compatible ones.
+
+    Batchable points (see :func:`_spec_batchable`) sharing a topology
+    and cycle cap are packed into one
+    :class:`~repro.network.batch.BatchedSimulator` lock-step run -- one
+    router instance per router name, so replications also share route
+    tables; everything else falls back to :func:`run_point`.  Records
+    come back in ``specs`` order and are bit-identical to the unbatched
+    ones, except that ``batch`` records each point's co-batch size.
+
+    This is the unit :func:`run_sweep` distributes over its
+    multiprocessing pool when ``batch > 1`` (whole batches, not
+    points).
+    """
+    specs = list(specs)
+    records: List[Optional[SweepRecord]] = [None] * len(specs)
+    groups: Dict[Tuple[str, int], List[int]] = {}
+    for i, spec in enumerate(specs):
+        if _spec_batchable(spec):
+            groups.setdefault((spec.topology, spec.max_cycles), []).append(i)
+        else:
+            records[i] = run_point(spec)
+    for (tspec, max_cycles), members in groups.items():
+        topo = parse_topology(tspec)
+        routers: Dict[str, object] = {}
+        items: List[BatchItem] = []
+        plans: List[Optional[FaultPlan]] = []
+        for i in members:
+            spec = specs[i]
+            router = routers.setdefault(
+                spec.router, _resolve_router(spec.router)()
+            )
+            plan = _point_plan(spec, topo)
+            items.append(BatchItem(
+                traffic=_point_traffic(spec, topo, plan),
+                router=router, faults=plan,
+            ))
+            plans.append(plan)
+        outcomes = BatchedSimulator(topo).run_batch(items, max_cycles=max_cycles)
+        for i, plan, result in zip(members, plans, outcomes):
+            records[i] = _condense(
+                specs[i], topo, plan, result, batch=len(members)
+            )
+    return records  # type: ignore[return-value]
 
 
 def run_sweep(
@@ -322,6 +422,7 @@ def run_sweep(
     inject_window: int = 64,
     max_cycles: int = 100000,
     processes: int = 1,
+    batch: int = 1,
 ) -> List[SweepRecord]:
     """Run the (topology x router x pattern x faults x switching x vcs x
     buffers x flits x collective x load x seed) grid.
@@ -335,11 +436,17 @@ def run_sweep(
     collective points (``""`` = the plain pattern grid); a collective
     point's pattern/load axes are normalised away, so one collective
     entry contributes exactly one point per (topology, router, faults,
-    flow, seed) cell.  ``processes > 1`` distributes points over
-    a multiprocessing pool; specs are validated eagerly (unknown names,
-    impossible fault plans and bad flit specs raise before any worker
-    starts).
+    flow, seed) cell.  ``batch > 1`` packs up to that many compatible
+    points (store-and-forward pattern points sharing topology and cycle
+    cap) into each lock-step :class:`~repro.network.batch.BatchedSimulator`
+    run -- records stay bit-identical, only the ``batch`` column and the
+    wall-clock change.  ``processes > 1`` distributes the work over a
+    multiprocessing pool (whole batches when batching); specs are
+    validated eagerly (unknown names, impossible fault plans and bad
+    flit specs raise before any worker starts).
     """
+    if batch < 1:
+        raise ValueError(f"batch must be at least 1, got {batch}")
     for p in patterns:
         if p not in PATTERNS:
             raise ValueError(f"unknown traffic pattern {p!r}; choose from {sorted(PATTERNS)}")
@@ -392,10 +499,32 @@ def run_sweep(
         for ld in loads
         for s in seeds
     ))
-    if processes > 1 and len(specs) > 1:
+    if batch <= 1:
+        if processes > 1 and len(specs) > 1:
+            with multiprocessing.Pool(processes) as pool:
+                return pool.map(run_point, specs)
+        return [run_point(s) for s in specs]
+    # pack compatible specs into batch tasks; the pool (when used)
+    # distributes whole batches, and records reassemble in grid order
+    groups: Dict[object, List[PointSpec]] = {}
+    for s in specs:
+        key = (s.topology, s.max_cycles) if _spec_batchable(s) else None
+        groups.setdefault(key, []).append(s)
+    tasks = [
+        members[i:i + batch]
+        for members in groups.values()
+        for i in range(0, len(members), batch)
+    ]
+    if processes > 1 and len(tasks) > 1:
         with multiprocessing.Pool(processes) as pool:
-            return pool.map(run_point, specs)
-    return [run_point(s) for s in specs]
+            outs = pool.map(run_batch_points, tasks)
+    else:
+        outs = [run_batch_points(task) for task in tasks]
+    by_spec = {
+        spec: rec for task, recs in zip(tasks, outs)
+        for spec, rec in zip(task, recs)
+    }
+    return [by_spec[s] for s in specs]
 
 
 def flow_tag(rec: SweepRecord) -> str:

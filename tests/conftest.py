@@ -9,11 +9,42 @@ shared cleverness.
 from __future__ import annotations
 
 import itertools
+import os
+import time
 from typing import List, Set
 
 import pytest
 
 from repro.graphs.core import Graph
+
+# -- tier-1 wall-clock budget -------------------------------------------------
+#
+# The suite is the repo's tier-1 gate and must stay fast enough to run on
+# every push.  When REPRO_TIER1_BUDGET_SECONDS is set (CI sets it; local
+# runs default to no budget) a session that takes longer FAILS, so suite
+# growth is a red build instead of slow rot.  Heavy tests carry the
+# ``heavy`` marker and can be shed first: ``pytest -m "not heavy"``.
+
+_SESSION_T0 = 0.0
+
+
+def pytest_sessionstart(session):
+    global _SESSION_T0
+    _SESSION_T0 = time.monotonic()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    budget = float(os.environ.get("REPRO_TIER1_BUDGET_SECONDS", "0") or 0)
+    if budget <= 0:
+        return
+    elapsed = time.monotonic() - _SESSION_T0
+    if elapsed > budget:
+        print(
+            f"\nFAILED tier-1 wall-clock budget: suite took {elapsed:.1f}s "
+            f"(budget {budget:.0f}s). Trim or mark tests 'heavy' "
+            "(see --durations report above)."
+        )
+        session.exitstatus = 1
 
 
 def naive_all_words(d: int) -> List[str]:

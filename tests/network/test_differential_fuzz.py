@@ -6,7 +6,10 @@ space -- topology x router x traffic pattern (collectives included) x
 switching mode x VC/buffer/flit shape x fault plan x cycle cap -- and
 asserts the reference and vectorized engines produce bit-identical
 ``SimResult``s on every sampled case.  A companion pass fuzzes the
-closed-loop collective compiler the same way.
+closed-loop collective compiler the same way, and a batch pass stacks a
+random K of mixed replications (seeds, loads, patterns, routers, fault
+plans, switching modes) into one ``BatchedSimulator`` run and checks it
+against K sequential vectorized runs.
 
 Scaling and reproduction
 ------------------------
@@ -25,6 +28,7 @@ import random
 
 import pytest
 
+from repro.network.batch import BatchedSimulator, BatchItem
 from repro.network.collectives import COLLECTIVES, run_collective
 from repro.network.faults import FaultPlan
 from repro.network.flowcontrol import FlowControl
@@ -154,6 +158,98 @@ def run_collective_case(seed: int) -> "str | None":
     return None
 
 
+def sample_batch_case(seed: int) -> dict:
+    """A deterministic batch of K mixed replications on one topology."""
+    rng = random.Random(seed)
+    topology = rng.choice(TOPO_SPECS)
+    topo = parse_topology(topology)
+    reps = []
+    for _ in range(rng.randint(2, 6)):
+        switching = rng.choice(("sf", "sf", "wormhole", "vct"))
+        if switching == "sf":
+            num_vcs, buffer_depth, flits = 1, 0, "1"
+        else:
+            num_vcs = rng.randint(1, 3)
+            flits = rng.choice(FLIT_SPECS)
+            buffer_depth = rng.randint(1, 8)
+            if switching == "vct":
+                _, _, hi = flits.rpartition("-")
+                buffer_depth = max(buffer_depth, int(hi))
+        reps.append({
+            "router": rng.choice(sorted(ROUTERS)),
+            "pattern": rng.choice(sorted(PATTERNS)),
+            "switching": switching,
+            "num_vcs": num_vcs,
+            "buffer_depth": buffer_depth,
+            "flits": flits,
+            "packets": rng.randint(0, 120),
+            "window": rng.randint(1, 40),
+            "faults": _sample_faults(rng, topo),
+            "traffic_seed": rng.randrange(10**6),
+            "flit_seed": rng.randrange(10**6),
+        })
+    return {
+        "topology": topology,
+        "max_cycles": rng.choice((100000, 100000, 100000, 41)),
+        "reps": reps,
+    }
+
+
+def run_batch_fuzz_case(seed: int) -> "str | None":
+    """One K-replication batch vs K sequential vectorized runs."""
+    cfg = sample_batch_case(seed)
+    topo = parse_topology(cfg["topology"])
+    routers: dict = {}
+    items = []
+    for rep in cfg["reps"]:
+        # shared router instances, so the batch also exercises its
+        # union-route-table sharing path
+        router = routers.setdefault(rep["router"], ROUTERS[rep["router"]]())
+        plan = (
+            FaultPlan.parse(rep["faults"], num_nodes=topo.num_nodes)
+            if rep["faults"] else None
+        )
+        traffic = make_traffic(
+            rep["pattern"], topo, rep["packets"], rep["window"],
+            seed=rep["traffic_seed"], faults=plan,
+        )
+        if rep["switching"] == "sf":
+            flow: "str | FlowControl" = "sf"
+            sizes: "int | list" = 1
+        else:
+            flow = FlowControl(
+                switching=rep["switching"],
+                buffer_depth=rep["buffer_depth"],
+                num_vcs=rep["num_vcs"],
+            )
+            sizes = flit_sizes(len(traffic), rep["flits"], seed=rep["flit_seed"])
+        items.append(BatchItem(
+            traffic=traffic, router=router, faults=plan,
+            switching=flow, flits=sizes,
+        ))
+    batched = BatchedSimulator(topo).run_batch(
+        items, max_cycles=cfg["max_cycles"]
+    )
+    sequential = [
+        VectorizedSimulator(topo, it.router).run(
+            it.traffic, max_cycles=cfg["max_cycles"], faults=it.faults,
+            switching=it.switching, flits=it.flits,
+        )
+        for it in items
+    ]
+    if batched != sequential:
+        flat = {
+            "topology": cfg["topology"],
+            "max_cycles": cfg["max_cycles"],
+            "k": len(items),
+            "diverged_at": [
+                i for i, (b, s) in enumerate(zip(batched, sequential)) if b != s
+            ],
+        }
+        return _describe(seed, flat, "batch")
+    return None
+
+
 def _report(failures):
     if not failures:
         return
@@ -173,6 +269,7 @@ def test_sampler_is_deterministic():
     assert sample_case(BASE_SEED) != sample_case(BASE_SEED + 1)
 
 
+@pytest.mark.heavy
 def test_differential_fuzz_engines():
     """CASES random configurations, bit-identical SimResults required."""
     _report(
@@ -186,6 +283,7 @@ def test_differential_fuzz_engines():
     )
 
 
+@pytest.mark.heavy
 def test_differential_fuzz_collectives():
     """A smaller closed-loop pass: the collective compiler's barriers and
     results must match across engines on random configurations."""
@@ -195,6 +293,23 @@ def test_differential_fuzz_collectives():
             line
             for line in (
                 run_collective_case(BASE_SEED + i) for i in range(cases)
+            )
+            if line
+        ]
+    )
+
+
+@pytest.mark.heavy
+def test_differential_fuzz_batches():
+    """The batch pass: random-K mixed batches (seeds, loads, patterns,
+    routers, fault plans, switching modes) through ``BatchedSimulator``
+    must match K sequential vectorized runs bit for bit."""
+    cases = max(1, CASES // 3)
+    _report(
+        [
+            line
+            for line in (
+                run_batch_fuzz_case(BASE_SEED + i) for i in range(cases)
             )
             if line
         ]

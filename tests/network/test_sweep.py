@@ -311,6 +311,67 @@ class TestFlowControlAxis:
             run_sweep(["Q:3"], switching=("wormhole",), flits=("9-2",))
 
 
+class TestBatchAxis:
+    GRID = dict(
+        topologies=["Q:4", "11:5"],
+        patterns=("uniform", "tornado"),
+        loads=(0.2, 0.5),
+        seeds=(0, 1),
+        inject_window=8,
+    )
+
+    def test_batched_records_are_bit_identical(self):
+        from dataclasses import replace
+
+        serial = run_sweep(**self.GRID)
+        batched = run_sweep(batch=16, **self.GRID)
+        assert [replace(r, batch=1) for r in batched] == serial
+        assert all(r.batch == 1 for r in serial)
+        # 8 points per topology co-batch together
+        assert {r.batch for r in batched} == {8}
+
+    def test_batch_chunks_to_the_requested_size(self):
+        batched = run_sweep(batch=3, **self.GRID)
+        # 8 points per topology chunk as 3 + 3 + 2
+        assert sorted({r.batch for r in batched}) == [2, 3]
+
+    def test_batched_multiprocessing_matches_serial(self):
+        assert run_sweep(batch=4, processes=2, **self.GRID) == run_sweep(
+            batch=4, **self.GRID
+        )
+
+    def test_unbatchable_points_run_alone(self):
+        """Wormhole and collective points do not batch natively: their
+        records carry batch=1 while the sf pattern points co-batch."""
+        records = run_sweep(
+            ["11:5"], patterns=("uniform",), loads=(0.2, 0.4),
+            switching=("sf", "wormhole"), flits=("2",),
+            collectives=("", "broadcast"), inject_window=8, batch=8,
+        )
+        by_kind = {}
+        for r in records:
+            kind = "coll" if r.collective else r.switching
+            by_kind.setdefault(kind, set()).add(r.batch)
+        assert by_kind["sf"] == {2}  # the two sf loads co-batched
+        assert by_kind["wormhole"] == {1}
+        assert by_kind["coll"] == {1}
+
+    def test_batched_faulted_grid_matches(self):
+        from dataclasses import replace
+
+        grid = dict(
+            topologies=["11:5"], routers=("adaptive", "bfs"),
+            loads=(0.2, 0.5), faults=("", "rand2s3"), inject_window=16,
+        )
+        serial = run_sweep(**grid)
+        batched = run_sweep(batch=8, **grid)
+        assert [replace(r, batch=1) for r in batched] == serial
+
+    def test_bad_batch_raises(self):
+        with pytest.raises(ValueError, match="batch"):
+            run_sweep(["Q:3"], batch=0)
+
+
 class TestRunSweep:
     def test_grid_shape(self):
         records = run_sweep(
