@@ -5,13 +5,16 @@ four traffic patterns and rising offered load, checks the physics
 (latency monotone in load, hotspot worse than uniform), and times the
 grid as one benchmark unit.
 
-The batched-sweep gate (``test_bench_sweep_batched_speedup``) is the
-acceptance claim of the batch axis: packing the standard multi-seed grid
-into lock-step :class:`~repro.network.batch.BatchedSimulator` runs must
-deliver at least 3x the sweep throughput of the point-by-point harness
-while producing bit-identical records.  It is a *timing* gate and
-belongs to the benchmark-regression CI job (uploaded as
-``BENCH_batch.json``), not the untimed smoke pass.
+The batched-sweep gates (``test_bench_sweep_batched_speedup`` on the
+store-and-forward grid, ``test_bench_sweep_batched_flow_speedup`` on a
+wormhole grid) are the acceptance claims of the batch axis: packing a
+multi-seed grid into lock-step
+:class:`~repro.network.batch.BatchedSimulator` runs must deliver at
+least 3x the sweep throughput of the point-by-point harness while
+producing bit-identical records -- and since the fused kernel batches
+every switching mode natively, the claim holds for flow-control points
+too.  These are *timing* gates and belong to the benchmark-regression
+CI job (uploaded as ``BENCH_batch.json``), not the untimed smoke pass.
 """
 
 import time
@@ -32,6 +35,21 @@ GRID = dict(
 # the batch axis exists for (96 points, 48 co-batched per topology)
 SEEDED_GRID = dict(GRID, seeds=(0, 1, 2, 3))
 BATCH = 48
+
+# a wormhole grid of the same replicated shape: finite buffers, 2 VCs,
+# 2-flit packets (32 points, 16 co-batched per topology)
+FLOW_GRID = dict(
+    topologies=["Q:6", "11:6"],
+    patterns=("uniform", "transpose"),
+    loads=(0.1, 0.3),
+    seeds=(0, 1, 2, 3),
+    switching=("wormhole",),
+    vcs=(2,),
+    buffers=(4,),
+    flits=("2",),
+    inject_window=32,
+)
+FLOW_BATCH = 16
 
 
 def test_bench_n2_saturation_grid(benchmark):
@@ -104,6 +122,39 @@ def test_bench_sweep_batched_speedup(benchmark):
         ],
     )
     assert speedup >= 3.0, f"batched sweep only {speedup:.1f}x faster"
+
+
+def test_bench_sweep_batched_flow_speedup(benchmark):
+    """The flow-control half of the batch-axis acceptance gate: a
+    wormhole multi-seed grid -- credit backpressure, VC allocation and
+    multi-flit packets all live -- must also run at least 3x faster
+    co-batched than point-by-point, bit-identical apart from the
+    ``batch`` column.  Before the fused kernel these points fell back
+    to the sequential path; this gate keeps them natively batched."""
+    unbatched = run_sweep(**FLOW_GRID)
+    batched = benchmark(lambda: run_sweep(batch=FLOW_BATCH, **FLOW_GRID))
+    assert [replace(r, batch=1) for r in batched] == unbatched
+
+    # best of three on each side, as in the sf gate
+    seq_seconds = min(
+        _timed(lambda: run_sweep(**FLOW_GRID)) for _ in range(3)
+    )
+    bat_seconds = min(
+        _timed(lambda: run_sweep(batch=FLOW_BATCH, **FLOW_GRID))
+        for _ in range(3)
+    )
+    speedup = seq_seconds / bat_seconds
+    print_table(
+        f"Sweep throughput, wormhole grid x 4 seeds ({len(unbatched)} points)",
+        ["harness", "seconds", "points/s", "speedup"],
+        [
+            ("point-by-point", f"{seq_seconds:.3f}",
+             f"{len(unbatched) / seq_seconds:.0f}", "1.0x"),
+            (f"batched (K<={FLOW_BATCH})", f"{bat_seconds:.3f}",
+             f"{len(unbatched) / bat_seconds:.0f}", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= 3.0, f"batched wormhole sweep only {speedup:.1f}x faster"
 
 
 def test_bench_batched_grid_with_faults_matches(benchmark):

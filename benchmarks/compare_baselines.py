@@ -1,0 +1,165 @@
+"""Compare fresh pytest-benchmark JSON against a checked-in baseline.
+
+CI runners are noisy and heterogeneous, so absolute seconds are useless
+as a gate: the same commit can be 2x slower on a cold shared runner.
+What *is* stable is the shape of a suite -- each benchmark's share of
+the suite's total mean time.  If ``test_bench_n2_saturation_grid`` took
+40% of the sweep suite yesterday and takes 70% today, one workload
+regressed relative to its peers no matter how fast the machine is.
+
+This script loads two pytest-benchmark JSON files (the checked-in
+baseline under ``benchmarks/baselines/`` and the fresh CI output),
+computes each benchmark's normalized share of the common-set total, and
+fails (exit 1) when any share grew by more than ``--tolerance``
+(default 25%, relative).  ``--absolute`` gates on raw mean seconds
+instead -- useful locally on a quiet machine, wrong for CI.
+
+A benchmark present in the baseline but missing from the fresh run
+fails the comparison (a silently dropped workload is a regression in
+coverage); a fresh benchmark absent from the baseline is reported but
+passes (the baseline just needs regenerating, see below).
+
+The before/after table goes to stdout and, when ``$GITHUB_STEP_SUMMARY``
+is set, to the job summary as GitHub-flavoured markdown.
+
+Regenerating a baseline after an intentional perf change::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep.py -q \
+        --benchmark-json=benchmarks/baselines/BENCH_batch.json
+
+Stdlib only: this must run on a bare CI python before (or without)
+the dev extras.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Map benchmark fullname -> mean seconds from a pytest-benchmark
+    JSON file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    means: Dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        means[bench["fullname"]] = float(bench["stats"]["mean"])
+    return means
+
+
+def shares(means: Dict[str, float], names: List[str]) -> Dict[str, float]:
+    """Each name's fraction of the summed mean over ``names``."""
+    total = sum(means[n] for n in names)
+    if total <= 0:
+        return {n: 0.0 for n in names}
+    return {n: means[n] / total for n in names}
+
+
+def compare(
+    base: Dict[str, float],
+    fresh: Dict[str, float],
+    tolerance: float,
+    absolute: bool,
+) -> Tuple[List[Tuple[str, float, float, float, str]], List[str], List[str]]:
+    """Rows of (name, baseline metric, fresh metric, ratio, verdict),
+    plus the missing-from-fresh and new-in-fresh name lists.
+
+    The metric is the normalized share (or the raw mean with
+    ``absolute``); ratio is fresh/baseline and the verdict is ``FAIL``
+    when it exceeds ``1 + tolerance``.
+    """
+    common = sorted(set(base) & set(fresh))
+    missing = sorted(set(base) - set(fresh))
+    new = sorted(set(fresh) - set(base))
+    if absolute:
+        b_metric = {n: base[n] for n in common}
+        f_metric = {n: fresh[n] for n in common}
+    else:
+        b_metric = shares(base, common)
+        f_metric = shares(fresh, common)
+    rows = []
+    for name in common:
+        b, f = b_metric[name], f_metric[name]
+        ratio = f / b if b > 0 else float("inf")
+        verdict = "FAIL" if ratio > 1.0 + tolerance else "ok"
+        rows.append((name, b, f, ratio, verdict))
+    return rows, missing, new
+
+
+def render(
+    title: str,
+    rows: List[Tuple[str, float, float, float, str]],
+    missing: List[str],
+    new: List[str],
+    absolute: bool,
+) -> str:
+    unit = "mean s" if absolute else "share"
+    fmt = (lambda v: f"{v:.4f}") if absolute else (lambda v: f"{v:.1%}")
+    lines = [
+        f"### {title}",
+        "",
+        f"| benchmark | baseline {unit} | fresh {unit} | ratio | verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for name, b, f, ratio, verdict in rows:
+        short = name.split("::", 1)[-1]
+        lines.append(
+            f"| {short} | {fmt(b)} | {fmt(f)} | {ratio:.2f}x | {verdict} |"
+        )
+    for name in missing:
+        short = name.split("::", 1)[-1]
+        lines.append(f"| {short} | present | **missing** | -- | FAIL |")
+    for name in new:
+        short = name.split("::", 1)[-1]
+        lines.append(f"| {short} | -- | new | -- | ok (regenerate baseline) |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in pytest-benchmark JSON")
+    parser.add_argument("fresh", help="freshly produced pytest-benchmark JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative growth allowed before failing "
+             "(default: %(default)s = 25%%)",
+    )
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="gate on raw mean seconds instead of normalized shares "
+             "(machine-dependent; avoid in CI)",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_means(args.baseline)
+    fresh = load_means(args.fresh)
+    rows, missing, new = compare(base, fresh, args.tolerance, args.absolute)
+    title = os.path.basename(args.fresh)
+    table = render(title, rows, missing, new, args.absolute)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(table + "\n")
+
+    failed = [r[0] for r in rows if r[4] == "FAIL"] + missing
+    if failed:
+        print(
+            f"FAIL: {len(failed)} benchmark(s) regressed beyond "
+            f"{args.tolerance:.0%}: " + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: {len(rows)} benchmark(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -166,10 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_swp.add_argument(
         "--batch", type=int, default=1,
-        help="co-batch up to N compatible points (store-and-forward "
-             "pattern points sharing a topology) per lock-step simulator "
-             "run; results are bit-identical, the grid just finishes "
-             "faster (default: %(default)s = unbatched)",
+        help="co-batch up to N compatible points (open-loop pattern "
+             "points sharing a topology, any switching mode) per "
+             "lock-step simulator run; results are bit-identical, the "
+             "grid just finishes faster (default: %(default)s = "
+             "unbatched)",
     )
     p_swp.add_argument("--csv", metavar="PATH", help="write records as CSV")
     p_swp.add_argument("--json", metavar="PATH", help="write records as JSON")

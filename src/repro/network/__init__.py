@@ -29,9 +29,12 @@ generalized Fibonacci cube:
   library (uniform, permutation, transpose, bit-reversal, tornado,
   hotspot, bursty);
 - :mod:`repro.network.batch` -- the batch axis over *runs*: K
-  independent replications advance in one lock-step vectorized loop
-  (disjoint link-id spaces, shared route tables), bit-identical to K
-  sequential runs;
+  independent replications, any mix of switching modes, advance in one
+  lock-step vectorized loop (disjoint link-id spaces, shared route
+  tables), bit-identical to K sequential runs;
+- :mod:`repro.network.kernel` -- the fused advance kernel underneath
+  every vectorized entry point: one parameterised cycle loop covering
+  store-and-forward and wormhole/vct, solo runs and K-run batches;
 - :mod:`repro.network.sweep` -- multiprocessing sweep harness producing
   saturation curves over (topology x router x pattern x faults x load)
   grids, with ``batch > 1`` packing compatible points into lock-step
@@ -82,10 +85,8 @@ from repro.network.simulator import (
     uniform_traffic,
 )
 from repro.network.batch import (
-    BATCHED_MODES,
     BatchItem,
     BatchedSimulator,
-    batches_natively,
     run_batch,
 )
 from repro.network.traffic import (
@@ -148,10 +149,8 @@ __all__ = [
     "route_stats",
     "ReferenceSimulator",
     "VectorizedSimulator",
-    "BATCHED_MODES",
     "BatchItem",
     "BatchedSimulator",
-    "batches_natively",
     "run_batch",
     "PATTERNS",
     "bit_reversal_traffic",

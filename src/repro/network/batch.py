@@ -2,32 +2,37 @@
 
 The sweep harness is the paper's experimental instrument, and its grids
 are embarrassingly replicated: the same topology simulated over and over
-with different seeds, loads, patterns, routers or fault plans.  Run
-sequentially, every replication pays the full per-cycle Python/NumPy
-dispatch overhead of :class:`~repro.network.simulator.VectorizedSimulator`
-on arrays far too small to amortise it.  This module adds the missing
-axis: *runs* are batched the same way PR 1 batched *packets*.
+with different seeds, loads, patterns, routers, fault plans or switching
+configurations.  Run sequentially, every replication pays the full
+per-cycle Python/NumPy dispatch overhead of
+:class:`~repro.network.simulator.VectorizedSimulator` on arrays far too
+small to amortise it.  This module adds the missing axis: *runs* are
+batched the same way PR 1 batched *packets*.
 
 :class:`BatchedSimulator` stacks K independent replications on one
-topology into flat arrays and advances all of them in a single
-store-and-forward cycle loop:
+topology into flat arrays and advances all of them through the fused
+advance kernel (:mod:`repro.network.kernel`) in a single cycle loop --
+**every switching mode batches natively**: store-and-forward items share
+flat FIFO arrays, wormhole/virtual-cut-through items share flat
+per-(link, VC) buffer state, and the two groups advance against one
+clock.  The batching discipline (see the kernel's docstring for the full
+argument):
 
-- every replication keeps its own **disjoint directed-link-id space**
-  (run ``k``'s links live in ``[link_base[k], link_base[k+1])``), so the
-  shared per-link FIFO arrays can never leak packets between runs;
+- every replication keeps its own **disjoint id space** for links and,
+  in the pipelined modes, extended channels, so shared state arrays can
+  never leak packets, credits or VC allocations between runs;
 - packets are renumbered globally by ``(inject_cycle, run, local_pid)``
   -- a stable sort that preserves every run's internal packet order, so
-  each link's ``(link, pid)`` FIFO discipline is untouched;
-- per-run accounting (``in_flight``, ``last_busy``, ``max_queue``,
-  in-flight drops) lives in length-K arrays updated with grouped
-  scatter-adds, so each :class:`SimResult` comes out **bit-identical**
-  to the result of a sequential ``VectorizedSimulator.run`` of the same
-  replication -- fault plans included (a run's dying links drop exactly
-  its own queues);
+  FIFO discipline, link arbitration and VC claims are untouched;
+- per-run accounting (in-flight counts, credit stalls, deadlock
+  verdicts, occupancy high-water marks, in-flight drops) lives in
+  length-K arrays updated with grouped scatter-adds, so each
+  :class:`SimResult` comes out **bit-identical** to the result of a
+  sequential ``VectorizedSimulator.run`` of the same replication --
+  fault plans, deadlock detection and cycle-cap truncation included;
 - the idle-cycle jump fires only when *every* run is quiescent, which
   changes nothing: an idle run's state is untouched by cycles it sits
-  through, and its ``cycles``/``max_queue`` accounting only advances on
-  its own activity.
+  through, and its accounting only advances on its own activity.
 
 Preparation is shared where the semantics allow, which is where most of
 a sweep point's cost actually goes: replications without faults that use
@@ -35,14 +40,8 @@ the same router *instance* share one route-table build over the union of
 their traffic pairs (routes are deterministic per pair, so the union
 table contains exactly the paths the per-run builds would), and all
 replications share one healthy-topology BFS-distance cache for misroute
-accounting.
-
-Switching modes: store-and-forward batches natively
-(:data:`BATCHED_MODES`).  Wormhole / virtual-cut-through items are
-accepted but fall back to a sequential ``VectorizedSimulator.run`` per
-item -- results are identical either way; :func:`batches_natively`
-reports the capability so callers (the sweep packer, the CLI) can plan
-around it.
+accounting.  Route tables do not depend on the switching mode, so sf and
+flow-control items mix freely within one shared build.
 """
 
 from __future__ import annotations
@@ -52,16 +51,15 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.network.faults import _NEVER, FaultPlan
+from repro.network.faults import FaultPlan
 from repro.network.flowcontrol import FlowControl, _validate_vct, resolve_flits
+from repro.network.kernel import KernelRun, _link_arrays, run_fused
 from repro.network.routing import BfsRouter
 from repro.network.simulator import (
     SimResult,
-    VectorizedSimulator,
     _as_flow,
     _build_table,
-    _fifo_append,
-    _link_arrays,
+    _flow_result,
     _misroute_hops,
     _prepare,
     _Prepared,
@@ -69,24 +67,10 @@ from repro.network.simulator import (
 from repro.network.topology import Topology
 
 __all__ = [
-    "BATCHED_MODES",
     "BatchItem",
     "BatchedSimulator",
-    "batches_natively",
     "run_batch",
 ]
-
-#: Switching modes the batch engine advances natively in one lock-step
-#: loop.  Anything else is accepted by :meth:`BatchedSimulator.run_batch`
-#: but falls back to a sequential per-item run.
-BATCHED_MODES = frozenset({"sf"})
-
-
-def batches_natively(switching: Union[str, FlowControl, None]) -> bool:
-    """True when ``switching`` advances in the lock-step batched loop
-    (today: store-and-forward); False for the sequential-fallback modes
-    (wormhole / virtual cut-through)."""
-    return _as_flow(switching).switching in BATCHED_MODES
 
 
 @dataclass(frozen=True)
@@ -97,6 +81,8 @@ class BatchItem:
     Replications without faults that share one router *instance* also
     share a single route-table build, so a sweep packer should construct
     one router object per router kind and reuse it across its items.
+    ``switching`` and ``flits`` mirror ``VectorizedSimulator.run``'s
+    parameters; any mix of modes is batched natively.
     """
 
     traffic: Sequence[Tuple[int, int, int]]
@@ -113,7 +99,7 @@ class BatchedSimulator:
     default for items that do not carry their own.  The only entry point
     is :meth:`run_batch`; per-run semantics (and results) are exactly
     those of ``VectorizedSimulator.run``, which the batch-equivalence
-    suite enforces bit for bit.
+    suite enforces bit for bit across every switching mode.
     """
 
     def __init__(self, topo: Topology, router=None):
@@ -137,10 +123,9 @@ class BatchedSimulator:
         item simulates.
         """
         items = list(items)
-        results: List[Optional[SimResult]] = [None] * len(items)
-        native: List[int] = []
-        fallback: List[int] = []
-        for idx, item in enumerate(items):
+        flows: List[FlowControl] = []
+        flit_arrs: List[np.ndarray] = []
+        for item in items:
             flow = _as_flow(item.switching)
             traffic = list(item.traffic)
             flit_arr = resolve_flits(item.flits, len(traffic))
@@ -157,35 +142,54 @@ class BatchedSimulator:
                 )
             if flow.pipelined:
                 _validate_vct(flow, flit_arr)
-                fallback.append(idx)
-            else:
-                native.append(idx)
-        for idx in fallback:
-            # sequential fallback: wormhole / vct do not batch yet
-            item = items[idx]
-            results[idx] = VectorizedSimulator(
-                self.topo, self._router_of(item)
-            ).run(
-                item.traffic, max_cycles=max_cycles, faults=item.faults,
-                switching=_as_flow(item.switching), flits=item.flits,
+            flows.append(flow)
+            flit_arrs.append(flit_arr)
+        if not items:
+            return []
+        preps = self._prepare_items(items)
+        # per-item link arrays; items sharing a route table share the
+        # (link_seq, link_offsets, link_codes) computation, and the
+        # kernel assigns disjoint global id ranges per run
+        cache: Dict[int, tuple] = {}
+        n = self.topo.num_nodes
+        runs: List[KernelRun] = []
+        nhops_list: List[np.ndarray] = []
+        for prep, flow, flit_arr in zip(preps, flows, flit_arrs):
+            key = id(prep.table)
+            if key not in cache:
+                cache[key] = (
+                    _link_arrays(n, prep.table), prep.table.lengths()
+                )
+            (link_seq, link_offsets, link_codes), lengths = cache[key]
+            nhops = lengths[prep.row] - 1
+            nhops_list.append(nhops)
+            runs.append(KernelRun(
+                flow=flow,
+                inject=prep.inject,
+                nhops=nhops,
+                first_link_at=link_offsets[prep.row],
+                link_seq=link_seq,
+                link_offsets=link_offsets,
+                link_codes=link_codes,
+                nf=flit_arr[prep.order],
+                link_dead=prep.link_dead,
+            ))
+        outcomes = run_fused(self.topo, runs, max_cycles)
+        return [
+            _flow_result(
+                out, prep.inject, nhops, prep.misroutes[prep.row],
+                prep.num_dropped,
             )
-        if native:
-            preps = self._prepare_native(items, native)
-            for idx, result in zip(
-                native, _run_lockstep(self.topo, preps, max_cycles)
-            ):
-                results[idx] = result
-        return results  # type: ignore[return-value]
+            for out, prep, nhops in zip(outcomes, preps, nhops_list)
+        ]
 
     # -- preparation ------------------------------------------------------
 
     def _router_of(self, item: BatchItem):
         return item.router if item.router is not None else self.router
 
-    def _prepare_native(
-        self, items: Sequence[BatchItem], native: Sequence[int]
-    ) -> List[_Prepared]:
-        """One :class:`_Prepared` per native (store-and-forward) item.
+    def _prepare_items(self, items: Sequence[BatchItem]) -> List[_Prepared]:
+        """One :class:`_Prepared` per item, switching mode regardless.
 
         Faulted items prepare individually (epoch-split tables cannot be
         shared), but reuse one healthy-distance BFS cache; unfaulted
@@ -196,8 +200,7 @@ class BatchedSimulator:
         dist_cache: Dict[int, np.ndarray] = {}
         preps: Dict[int, _Prepared] = {}
         groups: Dict[int, List[int]] = {}
-        for idx in native:
-            item = items[idx]
+        for idx, item in enumerate(items):
             if item.faults is not None and item.faults.num_events:
                 preps[idx] = _prepare(
                     self.topo, self._router_of(item), list(item.traffic),
@@ -208,7 +211,7 @@ class BatchedSimulator:
         for members in groups.values():
             shared = self._prepare_shared(items, members, dist_cache)
             preps.update(shared)
-        return [preps[idx] for idx in native]
+        return [preps[idx] for idx in range(len(items))]
 
     def _prepare_shared(
         self,
@@ -284,198 +287,3 @@ def run_batch(
     """Module-level convenience: ``BatchedSimulator(topo, router)
     .run_batch(items, max_cycles)``."""
     return BatchedSimulator(topo, router).run_batch(items, max_cycles)
-
-
-# ---------------------------------------------------------------------------
-# The lock-step store-and-forward loop
-# ---------------------------------------------------------------------------
-
-
-def _run_lockstep(
-    topo: Topology, preps: Sequence[_Prepared], max_cycles: int
-) -> List[SimResult]:
-    """Advance every prepared replication in one cycle loop.
-
-    The body is :class:`VectorizedSimulator`'s store-and-forward loop
-    with run-indexed accounting bolted on; the inline comments call out
-    each point where per-run bookkeeping replaces the scalar original.
-    """
-    K = len(preps)
-    empty = [len(p.row) == 0 for p in preps]
-    results: List[Optional[SimResult]] = [
-        SimResult(
-            cycles=1, injected=p.num_dropped, delivered=0,
-            latencies=(), max_queue=0, dropped=p.num_dropped,
-        ) if empty[k] else None
-        for k, p in enumerate(preps)
-    ]
-    live = [k for k in range(K) if not empty[k]]
-    if not live:
-        return results  # type: ignore[return-value]
-
-    n = topo.num_nodes
-    # per-run link arrays; items sharing a route table share the
-    # (link_seq, link_offsets, link_codes) computation but still get
-    # disjoint global link-id ranges below
-    cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-    seq_parts: List[np.ndarray] = []
-    link_counts: List[int] = []
-    firsts: List[np.ndarray] = []
-    nhops_parts: List[np.ndarray] = []
-    mis_parts: List[np.ndarray] = []
-    inject_parts: List[np.ndarray] = []
-    seq_base = 0
-    link_base = [0]
-    any_dead = False
-    for k in live:
-        p = preps[k]
-        key = id(p.table)
-        if key not in cache:
-            cache[key] = _link_arrays(n, p.table)
-        link_seq, link_offsets, link_codes = cache[key]
-        num_links = int(link_seq.max()) + 1 if link_seq.size else 1
-        seq_parts.append(link_seq + link_base[-1])
-        firsts.append(link_offsets[p.row] + seq_base)
-        nhops_parts.append(p.table.lengths()[p.row] - 1)
-        mis_parts.append(p.misroutes[p.row])
-        inject_parts.append(p.inject)
-        seq_base += link_seq.size
-        link_base.append(link_base[-1] + num_links)
-        link_counts.append(num_links)
-        any_dead = any_dead or bool(p.link_dead)
-    gl_seq = np.concatenate(seq_parts)
-    num_links_total = link_base[-1]
-    run_of_link = np.repeat(
-        np.arange(len(live), dtype=np.int64),
-        np.asarray(link_counts, dtype=np.int64),
-    )
-    dead_at = None
-    if any_dead:
-        dead_at = np.full(num_links_total, _NEVER, dtype=np.int64)
-        for j, k in enumerate(live):
-            p = preps[k]
-            if not p.link_dead:
-                continue
-            link_codes = cache[id(p.table)][2]
-            for (u, v), c in p.link_dead.items():
-                code = u * n + v
-                i = int(np.searchsorted(link_codes, code))
-                if i < link_codes.size and link_codes[i] == code:
-                    dead_at[link_base[j] + i] = c
-
-    # global packet order: stable sort by injection cycle over the
-    # run-major concatenation = (inject, run, local pid), so each run's
-    # internal order -- and with it every FIFO tie-break -- is preserved
-    sizes = np.asarray([a.size for a in inject_parts], dtype=np.int64)
-    order = np.argsort(np.concatenate(inject_parts), kind="stable")
-    inject = np.concatenate(inject_parts)[order]
-    nhops = np.concatenate(nhops_parts)[order]
-    mis_of = np.concatenate(mis_parts)[order]
-    first_link_at = np.concatenate(firsts)[order]
-    run_of = np.repeat(np.arange(len(live), dtype=np.int64), sizes)[order]
-    num = int(inject.size)
-    Ka = len(live)
-
-    delivered_at = np.full(num, -1, dtype=np.int64)
-    pos = np.zeros(num, dtype=np.int64)
-    succ = np.full(num, -1, dtype=np.int64)
-    qhead = np.full(num_links_total, -1, dtype=np.int64)
-    qtail = np.full(num_links_total, -1, dtype=np.int64)
-    qlen = np.zeros(num_links_total, dtype=np.int64)
-
-    # per-run accounting (the scalars of the sequential loop, as arrays)
-    in_flight_r = np.zeros(Ka, dtype=np.int64)
-    last_busy_r = np.full(Ka, -1, dtype=np.int64)
-    maxq_r = np.zeros(Ka, dtype=np.int64)
-    drop_r = np.zeros(Ka, dtype=np.int64)
-    in_flight = 0
-    next_pid = 0
-    cycle = int(inject[0]) if inject[0] < max_cycles else max_cycles
-    while cycle < max_cycles:
-        # inject every packet whose cycle has come
-        if next_pid < num and inject[next_pid] <= cycle:
-            hi = int(np.searchsorted(inject, cycle, side="right"))
-            fresh = np.arange(next_pid, hi, dtype=np.int64)
-            next_pid = hi
-            zero_hop = fresh[nhops[fresh] == 0]
-            delivered_at[zero_hop] = inject[zero_hop]
-            moving_fresh = fresh[nhops[fresh] > 0]
-            if moving_fresh.size:
-                _fifo_append(succ, qhead, qtail, qlen, moving_fresh,
-                             gl_seq[first_link_at[moving_fresh]])
-                in_flight_r += np.bincount(
-                    run_of[moving_fresh], minlength=Ka
-                )
-                in_flight += int(moving_fresh.size)
-            # injecting marks the run busy this cycle, zero-hop included
-            last_busy_r[np.unique(run_of[fresh])] = cycle
-        if in_flight:
-            # a run with packets in flight is busy this cycle even if a
-            # fault empties it below (matches the sequential engine)
-            last_busy_r[in_flight_r > 0] = cycle
-            busy = np.flatnonzero(qlen)
-            # queue depth per run, measured before any fault drop
-            np.maximum.at(maxq_r, run_of_link[busy], qlen[busy])
-            if dead_at is not None:
-                alive = dead_at[busy] > cycle
-                if not alive.all():
-                    slain = busy[~alive]
-                    lost = qlen[slain]
-                    np.add.at(drop_r, run_of_link[slain], lost)
-                    np.subtract.at(in_flight_r, run_of_link[slain], lost)
-                    in_flight -= int(lost.sum())
-                    qhead[slain] = -1
-                    qtail[slain] = -1
-                    qlen[slain] = 0
-                    busy = busy[alive]
-            served = qhead[busy]
-            qhead[busy] = succ[served]
-            qlen[busy] -= 1
-            pos[served] += 1
-            finished = pos[served] == nhops[served]
-            done = served[finished]
-            moving = served[~finished]
-            delivered_at[done] = cycle + 1
-            if done.size:
-                in_flight_r -= np.bincount(run_of[done], minlength=Ka)
-                in_flight -= int(done.size)
-            if moving.size:
-                _fifo_append(succ, qhead, qtail, qlen, moving,
-                             gl_seq[first_link_at[moving] + pos[moving]])
-            cycle += 1
-        elif next_pid < num:
-            # every run is quiescent: jump to the earliest pending
-            # injection anywhere in the batch (never skips any run's)
-            cycle = min(int(inject[next_pid]), max_cycles)
-        else:
-            break
-
-    # per-run condensation: a run's packets in ascending global pid
-    # order are exactly its packets in injection order
-    for j, k in enumerate(live):
-        p = preps[k]
-        pids = np.flatnonzero(run_of == j)
-        d = delivered_at[pids]
-        mask = d >= 0
-        delivered = int(mask.sum())
-        num_k = int(pids.size)
-        stalled = num_k - delivered - int(drop_r[j])
-        # a run with nothing left pending ended at its own last busy
-        # cycle; anything still stuck means the shared cap truncated it
-        cycles = (
-            max(int(last_busy_r[j]) + 1, 1) if stalled == 0
-            else max(max_cycles, 1)
-        )
-        inj = inject[pids]
-        results[k] = SimResult(
-            cycles=cycles,
-            injected=num_k + p.num_dropped,
-            delivered=delivered,
-            latencies=tuple((d[mask] - inj[mask]).tolist()),
-            max_queue=int(maxq_r[j]),
-            dropped=p.num_dropped + int(drop_r[j]),
-            misroutes=int(mis_of[pids][mask].sum()),
-            hops=tuple(nhops[pids][mask].tolist()),
-            stalled=stalled,
-        )
-    return results  # type: ignore[return-value]

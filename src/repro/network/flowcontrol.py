@@ -422,234 +422,26 @@ def vectorized_flow_run(
 ) -> FlowOutcome:
     """Array implementation of :func:`reference_flow_run`'s semantics.
 
-    Buffer state lives in flat per-extended-channel arrays (extended
-    channel = physical link id x VC), per-packet state in flat pid
-    arrays; every cycle is a bounded number of NumPy gathers/scatters
-    over the occupied-buffer set.  Outcomes are bit-identical to the
-    reference loop.
+    Since the advance kernels were fused, this is a one-run batch
+    through :func:`repro.network.kernel.run_fused`: buffer state lives
+    in flat per-extended-channel arrays (extended channel = physical
+    link id x VC), per-packet state in flat pid arrays, and every cycle
+    is a bounded number of NumPy gathers/scatters over the
+    occupied-buffer set.  Outcomes are bit-identical to the reference
+    loop (and to the same run inside any K-run batch).
     """
-    num = int(nhops.size)
-    _validate_vct(flow, nf)
-    V, B = flow.num_vcs, flow.buffer_depth
-    n = topo.num_nodes
-    num_links = int(link_seq.max()) + 1 if link_seq.size else 1
-    # VC per route position: dimension order on word topologies, hop
-    # index elsewhere (matches vc_of_hop exactly)
-    if link_seq.size == 0:
-        ext_seq = np.empty(0, dtype=np.int64)
-    elif V == 1:
-        ext_seq = link_seq
-    elif topo.word_length is not None:
-        dim_of_link = np.empty(num_links, dtype=np.int64)
-        for li, code in enumerate(link_codes):
-            u, v = int(code) // n, int(code) % n
-            dim_of_link[li] = link_dimension(topo, u, v)
-        ext_seq = link_seq * V + dim_of_link[link_seq] % V
-    else:
-        seg_lengths = np.diff(link_offsets)
-        pos_within = np.arange(link_seq.size, dtype=np.int64) - np.repeat(
-            link_offsets[:-1], seg_lengths
-        )
-        ext_seq = link_seq * V + pos_within % V
-    num_ext = num_links * V
-    dead_at_ext = None
-    if link_dead:
-        dead_at = np.full(num_links, _NEVER, dtype=np.int64)
-        for (u, v), c in link_dead.items():
-            code = u * n + v
-            li = int(np.searchsorted(link_codes, code))
-            if li < link_codes.size and link_codes[li] == code:
-                dead_at[li] = min(int(dead_at[li]), c)
-        dead_at_ext = np.repeat(dead_at, V)
+    # imported here: the kernel builds on this module's declarations
+    from repro.network.kernel import KernelRun, run_fused
 
-    holder = np.full(num_ext, -1, dtype=np.int64)
-    occ = np.zeros(num_ext, dtype=np.int64)
-    hopb = np.zeros(num_ext, dtype=np.int64)
-    head = np.zeros(num, dtype=np.int64)
-    srcf = nf.astype(np.int64).copy()
-    tailb = np.zeros(num, dtype=np.int64)
-    delivered_at = np.full(num, -1, dtype=np.int64)
-
-    injecting = np.empty(0, dtype=np.int64)
-    next_pid = 0
-    delivered_n = 0
-    dropped_n = 0
-    max_queue = 0
-    last_busy = -1
-    deadlocked = False
-    cycle = 0
-    work_left = True
-    while cycle < max_cycles:
-        moved = False
-        # 1. dying links drop every packet holding one of their buffers
-        if dead_at_ext is not None:
-            held = holder >= 0
-            slain = held & (dead_at_ext <= cycle)
-            if slain.any():
-                victims = np.unique(holder[slain])
-                victim_bufs = held & np.isin(holder, victims)
-                holder[victim_bufs] = -1
-                occ[victim_bufs] = 0
-                srcf[victims] = 0
-                dropped_n += int(victims.size)
-                moved = True
-        # 2. arrivals
-        if next_pid < num and inject[next_pid] <= cycle:
-            hi = int(np.searchsorted(inject, cycle, side="right"))
-            fresh = np.arange(next_pid, hi, dtype=np.int64)
-            next_pid = hi
-            zero_hop = fresh[nhops[fresh] == 0]
-            if zero_hop.size:
-                delivered_at[zero_hop] = inject[zero_hop]
-                delivered_n += int(zero_hop.size)
-                moved = True
-            injecting = np.concatenate((injecting, fresh[nhops[fresh] > 0]))
-        if injecting.size:
-            injecting = injecting[srcf[injecting] > 0]
-        # 3. network candidates (all reads against start-of-cycle state)
-        e_idx = np.flatnonzero(occ > 0)
-        me = mp = mi = mhead = mlast = mtail = mto = None
-        if e_idx.size:
-            p = holder[e_idx]
-            i = hopb[e_idx]
-            is_last = i == nhops[p]
-            is_head = head[p] == i
-            to = np.full(e_idx.size, -1, dtype=np.int64)
-            nl = ~is_last
-            to[nl] = ext_seq[first_link_at[p[nl]] + i[nl]]
-            down_ok = np.zeros(e_idx.size, dtype=bool)
-            down_ok[nl] = np.where(
-                is_head[nl], holder[to[nl]] == -1, occ[to[nl]] < B
-            )
-            movable = is_last | down_ok
-            cand = np.flatnonzero(movable)
-            if cand.size:
-                # one flit per physical link: oldest holder wins the link
-                phys = e_idx[cand] // V
-                order = np.lexsort((p[cand], phys))
-                cand = cand[order]
-                first = np.ones(cand.size, dtype=bool)
-                first[1:] = phys[order][1:] != phys[order][:-1]
-                sel = cand[first]
-                me = e_idx[sel]
-                mp = p[sel]
-                mi = i[sel]
-                mhead = is_head[sel]
-                mlast = is_last[sel]
-                mto = to[sel]
-                mtail = (srcf[mp] == 0) & (tailb[mp] == mi) & (occ[me] == 1)
-        # 4. injection candidates
-        ip = ie = ih = None
-        if injecting.size:
-            e1 = ext_seq[first_link_at[injecting]]
-            is_head_inj = head[injecting] == 0
-            ok = np.where(is_head_inj, holder[e1] == -1, occ[e1] < B)
-            ip = injecting[ok]
-            ie = e1[ok]
-            ih = is_head_inj[ok]
-        # 5. head flits claiming the same free buffer: smallest pid wins
-        net_claim = me is not None and bool((mhead & ~mlast).any())
-        inj_claim = ip is not None and bool(ih.any())
-        if net_claim or inj_claim:
-            parts_t, parts_p = [], []
-            if net_claim:
-                nc = mhead & ~mlast
-                parts_t.append(mto[nc])
-                parts_p.append(mp[nc])
-            if inj_claim:
-                parts_t.append(ie[ih])
-                parts_p.append(ip[ih])
-            ct = np.concatenate(parts_t)
-            cp = np.concatenate(parts_p)
-            order = np.lexsort((cp, ct))
-            first = np.ones(ct.size, dtype=bool)
-            first[1:] = ct[order][1:] != ct[order][:-1]
-            win_t = ct[order][first]  # sorted unique claim targets ...
-            win_p = cp[order][first]  # ... and their smallest-pid winners
-
-            def won(targets: np.ndarray, pids: np.ndarray) -> np.ndarray:
-                at = np.minimum(
-                    np.searchsorted(win_t, targets), win_t.size - 1
-                )
-                return (win_t[at] == targets) & (win_p[at] == pids)
-
-            if net_claim:
-                # non-claim moves (body flits, exits) target held buffers
-                # or -1, never a claimed free buffer: they always survive
-                keep = ~(mhead & ~mlast) | won(mto, mp)
-                me, mp, mi = me[keep], mp[keep], mi[keep]
-                mhead, mlast, mtail, mto = (
-                    mhead[keep], mlast[keep], mtail[keep], mto[keep]
-                )
-            if inj_claim:
-                keep = ~ih | won(ie, ip)
-                ip, ie, ih = ip[keep], ie[keep], ih[keep]
-        # 6. apply every surviving move simultaneously
-        recv_parts = []
-        if me is not None and me.size:
-            occ[me] -= 1
-            rel = me[mtail]
-            holder[rel] = -1
-            adv_tail = mtail & ~mlast
-            tailb[mp[adv_tail]] = mi[adv_tail] + 1
-            adv = mhead & ~mlast
-            holder[mto[adv]] = mp[adv]
-            hopb[mto[adv]] = mi[adv] + 1
-            head[mp[adv]] = mi[adv] + 1
-            exit_head = mhead & mlast
-            head[mp[exit_head]] = nhops[mp[exit_head]] + 1
-            fwd = mto[~mlast]
-            occ[fwd] += 1
-            done = mp[mlast & mtail]
-            delivered_at[done] = cycle + 1
-            delivered_n += int(done.size)
-            recv_parts.append(fwd)
-            moved = True
-        if ip is not None and ip.size:
-            srcf[ip] -= 1
-            occ[ie] += 1
-            holder[ie[ih]] = ip[ih]
-            hopb[ie[ih]] = 1
-            head[ip[ih]] = 1
-            tail_in = ip[srcf[ip] == 0]
-            tailb[tail_in] = 1
-            recv_parts.append(ie)
-            moved = True
-        if recv_parts:
-            recv = np.concatenate(recv_parts)
-            if recv.size:
-                max_queue = max(max_queue, int(occ[recv].max()))
-        # 7. advance time -- or jump to the next event, or stop
-        if moved:
-            last_busy = cycle
-            cycle += 1
-            continue
-        live = next_pid - delivered_n - dropped_n
-        if live == 0:
-            if next_pid < num:
-                cycle = min(int(inject[next_pid]), max_cycles)
-                continue
-            work_left = False
-            break
-        events = []
-        if next_pid < num:
-            events.append(int(inject[next_pid]))
-        events.extend(c for c in link_dead.values() if c > cycle)
-        if events:
-            cycle = min(min(events), max_cycles)
-            continue
-        deadlocked = True
-        break
-    stalled = num - delivered_n - dropped_n
-    if deadlocked or not (work_left and stalled):
-        cycles = max(last_busy + 1, 1)
-    else:
-        cycles = max(max_cycles, 1)
-    return FlowOutcome(
-        cycles=cycles,
-        delivered_at=delivered_at,
-        max_queue=max_queue,
-        dropped_in_flight=dropped_n,
-        stalled=stalled,
-        deadlocked=deadlocked,
+    run = KernelRun(
+        flow=flow,
+        inject=inject,
+        nhops=nhops,
+        first_link_at=first_link_at,
+        link_seq=link_seq,
+        link_offsets=link_offsets,
+        link_codes=link_codes,
+        nf=nf,
+        link_dead=link_dead,
     )
+    return run_fused(topo, [run], max_cycles)[0]

@@ -1,0 +1,777 @@
+"""The fused advance kernel: every cycle loop in one lock-step engine.
+
+Before this module existed the repository carried three overlapping
+per-cycle loops: the store-and-forward array loop in
+:mod:`repro.network.simulator`, the wormhole/virtual-cut-through loop in
+:mod:`repro.network.flowcontrol`, and the K-run lock-step batching loop
+in :mod:`repro.network.batch` (which only knew how to batch
+store-and-forward).  This module fuses them: **one** parameterised
+kernel advances K independent replications -- any mix of switching
+modes -- in a single cycle loop, and every vectorized entry point
+(``VectorizedSimulator.run``, ``vectorized_flow_run``,
+``BatchedSimulator.run_batch``) is now a thin wrapper over it with
+``K = 1`` or ``K = many``.
+
+Layout (the PR 5 batching discipline, extended to flow control):
+
+- every replication owns a **disjoint id space** -- run ``k``'s directed
+  links live in ``[link_base[k], link_base[k+1])`` and, in the pipelined
+  modes, its extended channels (link x virtual channel) live in
+  ``[ext_base[k], ext_base[k+1])`` -- so shared FIFO / buffer arrays can
+  never leak packets, credits or VC allocations between runs;
+- packets are renumbered globally by ``(inject_cycle, run, local pid)``,
+  a stable sort that preserves each run's internal packet order, so
+  every FIFO tie-break, link arbitration ("oldest packet wins the
+  link") and VC claim ("smallest pid wins the free buffer") resolves
+  exactly as it does in a solo run: those comparisons only ever happen
+  between packets of one run, whose relative order the sort preserves;
+- per-run accounting (arrivals, deliveries, in-flight drops, buffer
+  occupancy high-water marks, last-busy cycles, credit-stall /
+  deadlock state) lives in length-K arrays updated with grouped
+  scatter-adds;
+- per-run flow-control configuration is materialised as per-channel
+  arrays (``cap_ext`` carries each run's ``buffer_depth``, the extended
+  channel layout carries its ``num_vcs``), so wormhole and vct runs of
+  different shapes co-batch freely;
+- **deadlock** is detected per run, with the solo engine's exact
+  predicate (no move, live packets, no pending injection, no future
+  fault event): a deadlocked run is frozen, its buffers recycled, and
+  the survivors keep advancing;
+- the shared clock only jumps an idle gap when *every* run is
+  quiescent, which changes nothing: an idle run's state is untouched by
+  cycles it sits through, injections are processed at exactly their
+  injection cycle in either regime, and all per-run accounting advances
+  only on the run's own activity.
+
+Every outcome is **bit-identical** to a sequential
+``VectorizedSimulator.run`` of the same replication -- fault plans,
+in-flight drops, deadlock detection and cycle-cap truncation included --
+which ``tests/network/test_batch_equivalence.py`` and the
+differential-fuzz batch pass enforce across all switching modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.faults import _NEVER
+from repro.network.flowcontrol import (
+    FlowControl,
+    FlowOutcome,
+    _validate_vct,
+    link_dimension,
+)
+from repro.network.topology import Topology
+
+__all__ = [
+    "KernelRun",
+    "run_fused",
+]
+
+
+@dataclass
+class KernelRun:
+    """One prepared replication, in the kernel's native array form.
+
+    ``inject`` is stable-sorted ascending; ``first_link_at[p]`` is
+    packet ``p``'s route-row offset into ``link_seq``; ``nf`` carries
+    per-packet flit counts aligned with the sorted packets (all ones
+    under store-and-forward).  Runs that share a route table should pass
+    the *same* ``link_seq``/``link_offsets``/``link_codes`` objects so
+    the kernel shares the derived channel arrays too.
+    """
+
+    flow: FlowControl
+    inject: np.ndarray
+    nhops: np.ndarray
+    first_link_at: np.ndarray
+    link_seq: np.ndarray
+    link_offsets: np.ndarray
+    link_codes: np.ndarray
+    nf: np.ndarray
+    link_dead: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+def _fifo_append(
+    succ: np.ndarray,
+    qhead: np.ndarray,
+    qtail: np.ndarray,
+    qlen: np.ndarray,
+    pids: np.ndarray,
+    links: np.ndarray,
+) -> None:
+    """Append packets to per-link FIFOs stored as intrusive linked lists
+    (``qhead``/``qtail``/``qlen`` per link, a ``succ`` pointer per
+    packet); arrival order within one call is ``(link, pid)``.
+
+    This *is* the store-and-forward queue discipline every caller of the
+    kernel relies on -- one implementation, so the tie-break can never
+    drift between solo and batched runs.
+    """
+    order = np.lexsort((pids, links))
+    p, ln = pids[order], links[order]
+    boundary = np.ones(p.size, dtype=bool)
+    boundary[1:] = ln[1:] != ln[:-1]
+    succ[p] = -1
+    inner = ~boundary[1:]
+    succ[p[:-1][inner]] = p[1:][inner]
+    glinks = ln[boundary]
+    gheads = p[boundary]
+    gtails = p[np.concatenate((boundary[1:], [True]))]
+    starts = np.flatnonzero(boundary)
+    gsizes = np.diff(np.concatenate((starts, [p.size])))
+    was_empty = qhead[glinks] == -1
+    qhead[glinks[was_empty]] = gheads[was_empty]
+    succ[qtail[glinks[~was_empty]]] = gheads[~was_empty]
+    qtail[glinks] = gtails
+    qlen[glinks] += gsizes
+
+
+def _link_arrays(num_nodes, table) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row directed-link-id sequences and the link code book:
+    ``(link_seq, link_offsets, link_codes)``.
+
+    Link ids are ranks of the ``u * n + v`` codes of the directed edges
+    actually used, so the per-cycle ``bincount`` stays dense;
+    ``link_codes`` is the sorted code array those ranks index (used to
+    resolve fault plans onto link ids).
+    """
+    data, offsets = table.route_data, table.route_offsets
+    if data.size == 0:
+        return (np.empty(0, dtype=np.int64),
+                np.zeros(len(offsets), dtype=np.int64),
+                np.empty(0, dtype=np.int64))
+    last = np.zeros(data.size, dtype=bool)
+    last[offsets[1:] - 1] = True
+    valid = ~last[:-1]
+    codes = data[:-1][valid] * num_nodes + data[1:][valid]
+    uniq = np.unique(codes)
+    link_seq = np.searchsorted(uniq, codes)
+    lengths = offsets[1:] - offsets[:-1]
+    link_offsets = np.zeros(len(offsets), dtype=np.int64)
+    np.cumsum(lengths - 1, out=link_offsets[1:])
+    return link_seq, link_offsets, uniq
+
+
+def _ext_channels(
+    topo: Topology,
+    link_seq: np.ndarray,
+    link_offsets: np.ndarray,
+    link_codes: np.ndarray,
+    num_vcs: int,
+) -> np.ndarray:
+    """Per-route-step extended-channel ids (``link * V + vc``).
+
+    The VC of a hop follows the router's dimension order on
+    word-addressed topologies (the flipped bit position modulo ``V``)
+    and the hop index elsewhere -- exactly
+    :func:`repro.network.flowcontrol.vc_of_hop`, in array form.
+    """
+    if link_seq.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if num_vcs == 1:
+        return link_seq
+    n = topo.num_nodes
+    if topo.word_length is not None:
+        num_links = int(link_seq.max()) + 1
+        dim_of_link = np.empty(num_links, dtype=np.int64)
+        for li, code in enumerate(link_codes):
+            u, v = int(code) // n, int(code) % n
+            dim_of_link[li] = link_dimension(topo, u, v)
+        return link_seq * num_vcs + dim_of_link[link_seq] % num_vcs
+    seg_lengths = np.diff(link_offsets)
+    pos_within = np.arange(link_seq.size, dtype=np.int64) - np.repeat(
+        link_offsets[:-1], seg_lengths
+    )
+    return link_seq * num_vcs + pos_within % num_vcs
+
+
+def run_fused(
+    topo: Topology, runs: Sequence[KernelRun], max_cycles: int = 100000
+) -> List[FlowOutcome]:
+    """Advance every run in one shared cycle loop; one outcome per run.
+
+    Runs partition by discipline into at most two mode engines (the
+    store-and-forward FIFO stepper and the finite-buffer flow-control
+    stepper); the kernel drives both against one clock.  The clock
+    advances by one cycle whenever any run moved, jumps to the earliest
+    pending event (an injection anywhere, or a scheduled fault of a run
+    with flits in flight) when every run is quiescent, and stops when no
+    run has work left or the cap is hit.  Idle cycles a run sits
+    through are no-ops for it by construction, so each outcome is
+    bit-identical to the run advancing alone.
+    """
+    results: List[Optional[FlowOutcome]] = [None] * len(runs)
+    sf_idx: List[int] = []
+    fl_idx: List[int] = []
+    for i, run in enumerate(runs):
+        if run.flow.pipelined:
+            _validate_vct(run.flow, run.nf)
+        if run.inject.size == 0:
+            results[i] = FlowOutcome(
+                cycles=1, delivered_at=np.empty(0, dtype=np.int64),
+                max_queue=0, dropped_in_flight=0, stalled=0, deadlocked=False,
+            )
+        elif run.flow.pipelined:
+            fl_idx.append(i)
+        else:
+            sf_idx.append(i)
+    engines: List[object] = []
+    groups: List[List[int]] = []
+    if sf_idx:
+        engines.append(_SfEngine(topo, [runs[i] for i in sf_idx]))
+        groups.append(sf_idx)
+    if fl_idx:
+        engines.append(_FlowEngine(topo, [runs[i] for i in fl_idx]))
+        groups.append(fl_idx)
+    if engines:
+        cycle = 0
+        while cycle < max_cycles:
+            moved = False
+            for eng in engines:
+                if eng.step(cycle):
+                    moved = True
+            if moved:
+                cycle += 1
+                continue
+            events = [e for eng in engines for e in eng.next_events(cycle)]
+            if not events:
+                break
+            cycle = min(min(events), max_cycles)
+        for eng, idxs in zip(engines, groups):
+            for i, out in zip(idxs, eng.finalize(max_cycles)):
+                results[i] = out
+    return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Store-and-forward mode engine: intrusive per-link FIFOs, K runs
+# ---------------------------------------------------------------------------
+
+
+class _SfEngine:
+    """K store-and-forward runs over shared flat FIFO arrays.
+
+    This is PR 5's lock-step loop recast as a clock-driven stepper: the
+    state construction (disjoint link-id spaces, global pid order,
+    per-run accounting arrays) is unchanged, only the time-advance
+    decisions moved up into :func:`run_fused`'s shared driver.
+    """
+
+    def __init__(self, topo: Topology, runs: Sequence[KernelRun]):
+        n = topo.num_nodes
+        K = len(runs)
+        self.K = K
+        seq_parts: List[np.ndarray] = []
+        link_counts: List[int] = []
+        firsts: List[np.ndarray] = []
+        nhops_parts: List[np.ndarray] = []
+        inject_parts: List[np.ndarray] = []
+        seq_base = 0
+        link_base = [0]
+        any_dead = False
+        for r in runs:
+            num_links = int(r.link_seq.max()) + 1 if r.link_seq.size else 1
+            seq_parts.append(r.link_seq + link_base[-1])
+            firsts.append(r.first_link_at + seq_base)
+            nhops_parts.append(r.nhops)
+            inject_parts.append(r.inject)
+            seq_base += r.link_seq.size
+            link_base.append(link_base[-1] + num_links)
+            link_counts.append(num_links)
+            any_dead = any_dead or bool(r.link_dead)
+        self.gl_seq = np.concatenate(seq_parts)
+        num_links_total = link_base[-1]
+        self.run_of_link = np.repeat(
+            np.arange(K, dtype=np.int64),
+            np.asarray(link_counts, dtype=np.int64),
+        )
+        self.dead_at = None
+        if any_dead:
+            self.dead_at = np.full(num_links_total, _NEVER, dtype=np.int64)
+            for j, r in enumerate(runs):
+                if not r.link_dead:
+                    continue
+                for (u, v), c in r.link_dead.items():
+                    code = u * n + v
+                    i = int(np.searchsorted(r.link_codes, code))
+                    if i < r.link_codes.size and r.link_codes[i] == code:
+                        self.dead_at[link_base[j] + i] = c
+
+        # global packet order: stable sort by injection cycle over the
+        # run-major concatenation = (inject, run, local pid), so each
+        # run's internal order -- and every FIFO tie-break -- survives
+        sizes = np.asarray([a.size for a in inject_parts], dtype=np.int64)
+        order = np.argsort(np.concatenate(inject_parts), kind="stable")
+        self.inject = np.concatenate(inject_parts)[order]
+        self.nhops = np.concatenate(nhops_parts)[order]
+        self.first_link_at = np.concatenate(firsts)[order]
+        self.run_of = np.repeat(np.arange(K, dtype=np.int64), sizes)[order]
+        self.num = int(self.inject.size)
+
+        self.delivered_at = np.full(self.num, -1, dtype=np.int64)
+        self.pos = np.zeros(self.num, dtype=np.int64)
+        self.succ = np.full(self.num, -1, dtype=np.int64)
+        self.qhead = np.full(num_links_total, -1, dtype=np.int64)
+        self.qtail = np.full(num_links_total, -1, dtype=np.int64)
+        self.qlen = np.zeros(num_links_total, dtype=np.int64)
+
+        # per-run accounting (the scalars of the solo loop, as arrays)
+        self.in_flight_r = np.zeros(K, dtype=np.int64)
+        self.last_busy_r = np.full(K, -1, dtype=np.int64)
+        self.maxq_r = np.zeros(K, dtype=np.int64)
+        self.drop_r = np.zeros(K, dtype=np.int64)
+        self.in_flight = 0
+        self.next_pid = 0
+
+    def step(self, cycle: int) -> bool:
+        moved = False
+        # inject every packet whose cycle has come
+        if self.next_pid < self.num and self.inject[self.next_pid] <= cycle:
+            hi = int(np.searchsorted(self.inject, cycle, side="right"))
+            fresh = np.arange(self.next_pid, hi, dtype=np.int64)
+            self.next_pid = hi
+            zero_hop = fresh[self.nhops[fresh] == 0]
+            self.delivered_at[zero_hop] = self.inject[zero_hop]
+            moving_fresh = fresh[self.nhops[fresh] > 0]
+            if moving_fresh.size:
+                _fifo_append(self.succ, self.qhead, self.qtail, self.qlen,
+                             moving_fresh,
+                             self.gl_seq[self.first_link_at[moving_fresh]])
+                self.in_flight_r += np.bincount(
+                    self.run_of[moving_fresh], minlength=self.K
+                )
+                self.in_flight += int(moving_fresh.size)
+            # injecting marks the run busy this cycle, zero-hop included
+            self.last_busy_r[np.unique(self.run_of[fresh])] = cycle
+            moved = True
+        if self.in_flight:
+            # a run with packets in flight is busy this cycle even if a
+            # fault empties it below (matches the solo engine)
+            self.last_busy_r[self.in_flight_r > 0] = cycle
+            busy = np.flatnonzero(self.qlen)
+            # queue depth per run, measured before any fault drop
+            np.maximum.at(self.maxq_r, self.run_of_link[busy], self.qlen[busy])
+            if self.dead_at is not None:
+                alive = self.dead_at[busy] > cycle
+                if not alive.all():
+                    slain = busy[~alive]
+                    lost = self.qlen[slain]
+                    np.add.at(self.drop_r, self.run_of_link[slain], lost)
+                    np.subtract.at(
+                        self.in_flight_r, self.run_of_link[slain], lost
+                    )
+                    self.in_flight -= int(lost.sum())
+                    self.qhead[slain] = -1
+                    self.qtail[slain] = -1
+                    self.qlen[slain] = 0
+                    busy = busy[alive]
+            served = self.qhead[busy]
+            self.qhead[busy] = self.succ[served]
+            self.qlen[busy] -= 1
+            self.pos[served] += 1
+            finished = self.pos[served] == self.nhops[served]
+            done = served[finished]
+            moving = served[~finished]
+            self.delivered_at[done] = cycle + 1
+            if done.size:
+                self.in_flight_r -= np.bincount(
+                    self.run_of[done], minlength=self.K
+                )
+                self.in_flight -= int(done.size)
+            if moving.size:
+                _fifo_append(
+                    self.succ, self.qhead, self.qtail, self.qlen, moving,
+                    self.gl_seq[self.first_link_at[moving] + self.pos[moving]],
+                )
+            moved = True
+        return moved
+
+    def next_events(self, cycle: int) -> List[int]:
+        # store-and-forward always progresses while anything is queued,
+        # so the only thing worth waking for is the next injection
+        if self.next_pid < self.num:
+            return [int(self.inject[self.next_pid])]
+        return []
+
+    def finalize(self, max_cycles: int) -> List[FlowOutcome]:
+        outs = []
+        for j in range(self.K):
+            # a run's packets in ascending global pid order are exactly
+            # its packets in injection order
+            pids = np.flatnonzero(self.run_of == j)
+            d = self.delivered_at[pids]
+            delivered = int((d >= 0).sum())
+            stalled = int(pids.size) - delivered - int(self.drop_r[j])
+            # a run with nothing left pending ended at its own last busy
+            # cycle; anything still stuck means the shared cap cut it off
+            cycles = (
+                max(int(self.last_busy_r[j]) + 1, 1) if stalled == 0
+                else max(max_cycles, 1)
+            )
+            outs.append(FlowOutcome(
+                cycles=cycles,
+                delivered_at=d,
+                max_queue=int(self.maxq_r[j]),
+                dropped_in_flight=int(self.drop_r[j]),
+                stalled=stalled,
+                deadlocked=False,
+            ))
+        return outs
+
+
+# ---------------------------------------------------------------------------
+# Flow-control mode engine: finite (link x VC) buffers, K runs
+# ---------------------------------------------------------------------------
+
+
+class _FlowEngine:
+    """K wormhole / virtual-cut-through runs over shared buffer arrays.
+
+    The per-cycle body is ``vectorized_flow_run``'s loop with run-indexed
+    accounting bolted on: per-run buffer capacities live in ``cap_ext``,
+    physical-link arbitration resolves through ``phys_of_ext`` (VC
+    counts differ per run, so ids cannot simply divide by V), and the
+    solo loop's scalar bookkeeping (arrivals, deliveries, drops, the
+    deadlock verdict) becomes length-K arrays.  A run that deadlocks is
+    frozen exactly where the solo engine would have stopped it -- same
+    predicate, same cycle -- and its buffers are recycled so the
+    surviving runs pay nothing for it.
+    """
+
+    def __init__(self, topo: Topology, runs: Sequence[KernelRun]):
+        n = topo.num_nodes
+        K = len(runs)
+        self.K = K
+        ext_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        gext_parts: List[np.ndarray] = []
+        firsts: List[np.ndarray] = []
+        phys_parts: List[np.ndarray] = []
+        cap_parts: List[np.ndarray] = []
+        runext_parts: List[np.ndarray] = []
+        inject_parts: List[np.ndarray] = []
+        nhops_parts: List[np.ndarray] = []
+        nf_parts: List[np.ndarray] = []
+        ext_base = [0]
+        seq_base = 0
+        link_base = 0
+        any_dead = False
+        death_cycles: List[np.ndarray] = []
+        for j, r in enumerate(runs):
+            V = r.flow.num_vcs
+            key = (id(r.link_seq), V)
+            if key not in ext_cache:
+                ext_cache[key] = _ext_channels(
+                    topo, r.link_seq, r.link_offsets, r.link_codes, V
+                )
+            num_links = int(r.link_seq.max()) + 1 if r.link_seq.size else 1
+            num_ext = num_links * V
+            gext_parts.append(ext_cache[key] + ext_base[-1])
+            firsts.append(r.first_link_at + seq_base)
+            phys_parts.append(
+                link_base + np.arange(num_ext, dtype=np.int64) // V
+            )
+            cap_parts.append(
+                np.full(num_ext, r.flow.buffer_depth, dtype=np.int64)
+            )
+            runext_parts.append(np.full(num_ext, j, dtype=np.int64))
+            inject_parts.append(r.inject)
+            nhops_parts.append(r.nhops)
+            nf_parts.append(r.nf)
+            seq_base += r.link_seq.size
+            link_base += num_links
+            ext_base.append(ext_base[-1] + num_ext)
+            dc = np.asarray(sorted(set(r.link_dead.values())), dtype=np.int64)
+            death_cycles.append(dc)
+            any_dead = any_dead or bool(r.link_dead)
+        self.ext_base = ext_base
+        num_ext_total = ext_base[-1]
+        self.gext_seq = np.concatenate(gext_parts)
+        self.phys_of_ext = np.concatenate(phys_parts)
+        self.cap_ext = np.concatenate(cap_parts)
+        self.run_of_ext = np.concatenate(runext_parts)
+        self.death_cycles = death_cycles
+        self.max_death = np.asarray(
+            [int(dc[-1]) if dc.size else -1 for dc in death_cycles],
+            dtype=np.int64,
+        )
+        self.dead_at_ext = None
+        if any_dead:
+            # every (link, VC) buffer of a dying link dies with it; a
+            # plan may name links no route uses -- they still schedule
+            # wake-up events (max_death) but resolve to no buffer here
+            self.dead_at_ext = np.full(num_ext_total, _NEVER, dtype=np.int64)
+            for j, r in enumerate(runs):
+                if not r.link_dead:
+                    continue
+                V = r.flow.num_vcs
+                for (u, v), c in r.link_dead.items():
+                    code = u * n + v
+                    li = int(np.searchsorted(r.link_codes, code))
+                    if li < r.link_codes.size and r.link_codes[li] == code:
+                        lo = ext_base[j] + li * V
+                        self.dead_at_ext[lo:lo + V] = np.minimum(
+                            self.dead_at_ext[lo:lo + V], c
+                        )
+
+        # global packet order: (inject, run, local pid), as in sf
+        sizes = np.asarray([a.size for a in inject_parts], dtype=np.int64)
+        order = np.argsort(np.concatenate(inject_parts), kind="stable")
+        self.inject = np.concatenate(inject_parts)[order]
+        self.nhops = np.concatenate(nhops_parts)[order]
+        self.gfirst = np.concatenate(firsts)[order]
+        self.run_of = np.repeat(np.arange(K, dtype=np.int64), sizes)[order]
+        self.num = int(self.inject.size)
+        self.totals = np.bincount(self.run_of, minlength=K)
+
+        self.holder = np.full(num_ext_total, -1, dtype=np.int64)
+        self.occ = np.zeros(num_ext_total, dtype=np.int64)
+        self.hopb = np.zeros(num_ext_total, dtype=np.int64)
+        self.head = np.zeros(self.num, dtype=np.int64)
+        self.srcf = np.concatenate(nf_parts)[order].astype(np.int64)
+        self.tailb = np.zeros(self.num, dtype=np.int64)
+        self.delivered_at = np.full(self.num, -1, dtype=np.int64)
+
+        self.injecting = np.empty(0, dtype=np.int64)
+        self.next_pid = 0
+        # per-run accounting (the solo loop's scalars, as arrays)
+        self.arrived = np.zeros(K, dtype=np.int64)
+        self.delivered_r = np.zeros(K, dtype=np.int64)
+        self.dropped_r = np.zeros(K, dtype=np.int64)
+        self.maxq_r = np.zeros(K, dtype=np.int64)
+        self.last_busy_r = np.full(K, -1, dtype=np.int64)
+        self.deadlocked_r = np.zeros(K, dtype=bool)
+        self.active = np.ones(K, dtype=bool)
+
+    def step(self, cycle: int) -> bool:
+        if not self.active.any():
+            return False
+        K = self.K
+        moved_r = np.zeros(K, dtype=bool)
+        # 1. dying links take down every packet holding one of their
+        #    buffers -- the whole packet, wherever its other flits sit
+        if self.dead_at_ext is not None:
+            held = self.holder >= 0
+            slain = held & (self.dead_at_ext <= cycle)
+            if slain.any():
+                victims = np.unique(self.holder[slain])
+                victim_bufs = held & np.isin(self.holder, victims)
+                self.holder[victim_bufs] = -1
+                self.occ[victim_bufs] = 0
+                self.srcf[victims] = 0
+                vruns = self.run_of[victims]
+                self.dropped_r += np.bincount(vruns, minlength=K)
+                moved_r[vruns] = True
+        # 2. arrivals whose injection cycle has come
+        if self.next_pid < self.num and self.inject[self.next_pid] <= cycle:
+            hi = int(np.searchsorted(self.inject, cycle, side="right"))
+            fresh = np.arange(self.next_pid, hi, dtype=np.int64)
+            self.next_pid = hi
+            self.arrived += np.bincount(self.run_of[fresh], minlength=K)
+            zero_hop = fresh[self.nhops[fresh] == 0]
+            if zero_hop.size:
+                self.delivered_at[zero_hop] = self.inject[zero_hop]
+                self.delivered_r += np.bincount(
+                    self.run_of[zero_hop], minlength=K
+                )
+                moved_r[self.run_of[zero_hop]] = True
+            self.injecting = np.concatenate(
+                (self.injecting, fresh[self.nhops[fresh] > 0])
+            )
+        if self.injecting.size:
+            self.injecting = self.injecting[self.srcf[self.injecting] > 0]
+        # 3. network candidates: per physical link, the movable front
+        #    flit of the occupied VC whose holder is oldest (smallest
+        #    pid); all reads against start-of-cycle state
+        e_idx = np.flatnonzero(self.occ > 0)
+        me = mp = mi = mhead = mlast = mtail = mto = None
+        if e_idx.size:
+            p = self.holder[e_idx]
+            i = self.hopb[e_idx]
+            is_last = i == self.nhops[p]
+            is_head = self.head[p] == i
+            to = np.full(e_idx.size, -1, dtype=np.int64)
+            nl = ~is_last
+            to[nl] = self.gext_seq[self.gfirst[p[nl]] + i[nl]]
+            down_ok = np.zeros(e_idx.size, dtype=bool)
+            down_ok[nl] = np.where(
+                is_head[nl],
+                self.holder[to[nl]] == -1,
+                self.occ[to[nl]] < self.cap_ext[to[nl]],
+            )
+            movable = is_last | down_ok
+            cand = np.flatnonzero(movable)
+            if cand.size:
+                # one flit per physical link: oldest holder wins; VC
+                # counts differ per run, so resolve through phys_of_ext
+                phys = self.phys_of_ext[e_idx[cand]]
+                order = np.lexsort((p[cand], phys))
+                cand = cand[order]
+                first = np.ones(cand.size, dtype=bool)
+                first[1:] = phys[order][1:] != phys[order][:-1]
+                sel = cand[first]
+                me = e_idx[sel]
+                mp = p[sel]
+                mi = i[sel]
+                mhead = is_head[sel]
+                mlast = is_last[sel]
+                mto = to[sel]
+                mtail = (
+                    (self.srcf[mp] == 0)
+                    & (self.tailb[mp] == mi)
+                    & (self.occ[me] == 1)
+                )
+        # 4. injection candidates: one flit per waiting packet
+        ip = ie = ih = None
+        if self.injecting.size:
+            e1 = self.gext_seq[self.gfirst[self.injecting]]
+            is_head_inj = self.head[self.injecting] == 0
+            ok = np.where(
+                is_head_inj,
+                self.holder[e1] == -1,
+                self.occ[e1] < self.cap_ext[e1],
+            )
+            ip = self.injecting[ok]
+            ie = e1[ok]
+            ih = is_head_inj[ok]
+        # 5. head flits claiming the same free buffer: smallest pid wins
+        net_claim = me is not None and bool((mhead & ~mlast).any())
+        inj_claim = ip is not None and bool(ih.any())
+        if net_claim or inj_claim:
+            parts_t, parts_p = [], []
+            if net_claim:
+                nc = mhead & ~mlast
+                parts_t.append(mto[nc])
+                parts_p.append(mp[nc])
+            if inj_claim:
+                parts_t.append(ie[ih])
+                parts_p.append(ip[ih])
+            ct = np.concatenate(parts_t)
+            cp = np.concatenate(parts_p)
+            order = np.lexsort((cp, ct))
+            first = np.ones(ct.size, dtype=bool)
+            first[1:] = ct[order][1:] != ct[order][:-1]
+            win_t = ct[order][first]  # sorted unique claim targets ...
+            win_p = cp[order][first]  # ... and their smallest-pid winners
+
+            def won(targets: np.ndarray, pids: np.ndarray) -> np.ndarray:
+                at = np.minimum(
+                    np.searchsorted(win_t, targets), win_t.size - 1
+                )
+                return (win_t[at] == targets) & (win_p[at] == pids)
+
+            if net_claim:
+                # non-claim moves (body flits, exits) target held buffers
+                # or -1, never a claimed free buffer: they always survive
+                keep = ~(mhead & ~mlast) | won(mto, mp)
+                me, mp, mi = me[keep], mp[keep], mi[keep]
+                mhead, mlast, mtail, mto = (
+                    mhead[keep], mlast[keep], mtail[keep], mto[keep]
+                )
+            if inj_claim:
+                keep = ~ih | won(ie, ip)
+                ip, ie, ih = ip[keep], ie[keep], ih[keep]
+        # 6. apply every surviving move simultaneously
+        recv_parts = []
+        if me is not None and me.size:
+            self.occ[me] -= 1
+            rel = me[mtail]
+            self.holder[rel] = -1
+            adv_tail = mtail & ~mlast
+            self.tailb[mp[adv_tail]] = mi[adv_tail] + 1
+            adv = mhead & ~mlast
+            self.holder[mto[adv]] = mp[adv]
+            self.hopb[mto[adv]] = mi[adv] + 1
+            self.head[mp[adv]] = mi[adv] + 1
+            exit_head = mhead & mlast
+            self.head[mp[exit_head]] = self.nhops[mp[exit_head]] + 1
+            fwd = mto[~mlast]
+            self.occ[fwd] += 1
+            done = mp[mlast & mtail]
+            self.delivered_at[done] = cycle + 1
+            if done.size:
+                self.delivered_r += np.bincount(
+                    self.run_of[done], minlength=K
+                )
+            recv_parts.append(fwd)
+            moved_r[self.run_of[mp]] = True
+        if ip is not None and ip.size:
+            self.srcf[ip] -= 1
+            self.occ[ie] += 1
+            self.holder[ie[ih]] = ip[ih]
+            self.hopb[ie[ih]] = 1
+            self.head[ip[ih]] = 1
+            tail_in = ip[self.srcf[ip] == 0]
+            self.tailb[tail_in] = 1
+            recv_parts.append(ie)
+            moved_r[self.run_of[ip]] = True
+        if recv_parts:
+            recv = np.concatenate(recv_parts)
+            if recv.size:
+                np.maximum.at(
+                    self.maxq_r, self.run_of_ext[recv], self.occ[recv]
+                )
+        # 7. per-run verdicts: retire finished runs, convict deadlocks
+        any_moved = bool(moved_r.any())
+        if any_moved:
+            self.last_busy_r[moved_r] = cycle
+        live = self.arrived - self.delivered_r - self.dropped_r
+        pending = self.arrived < self.totals
+        finished = self.active & (live == 0) & ~pending
+        if finished.any():
+            self.active[finished] = False
+        # the solo engine's deadlock predicate, per run: nothing moved,
+        # live packets, and no event (injection or fault) can unblock it
+        dead = (
+            self.active & ~moved_r & (live > 0) & ~pending
+            & (self.max_death <= cycle)
+        )
+        if dead.any():
+            self.deadlocked_r |= dead
+            self.active[dead] = False
+            doomed = np.isin(self.run_of, np.flatnonzero(dead))
+            self.srcf[doomed] = 0
+            for j in np.flatnonzero(dead):
+                lo, hi = self.ext_base[j], self.ext_base[j + 1]
+                self.occ[lo:hi] = 0
+                self.holder[lo:hi] = -1
+        return any_moved
+
+    def next_events(self, cycle: int) -> List[int]:
+        events: List[int] = []
+        if self.next_pid < self.num:
+            events.append(int(self.inject[self.next_pid]))
+        live = self.arrived - self.delivered_r - self.dropped_r
+        for j in np.flatnonzero(self.active & (live > 0)):
+            dc = self.death_cycles[j]
+            if dc.size:
+                k = int(np.searchsorted(dc, cycle, side="right"))
+                if k < dc.size:
+                    events.append(int(dc[k]))
+        return events
+
+    def finalize(self, max_cycles: int) -> List[FlowOutcome]:
+        outs = []
+        for j in range(self.K):
+            pids = np.flatnonzero(self.run_of == j)
+            stalled = (
+                int(self.totals[j])
+                - int(self.delivered_r[j])
+                - int(self.dropped_r[j])
+            )
+            if self.deadlocked_r[j] or stalled == 0:
+                cycles = max(int(self.last_busy_r[j]) + 1, 1)
+            else:
+                cycles = max(max_cycles, 1)
+            outs.append(FlowOutcome(
+                cycles=cycles,
+                delivered_at=self.delivered_at[pids],
+                max_queue=int(self.maxq_r[j]),
+                dropped_in_flight=int(self.dropped_r[j]),
+                stalled=stalled,
+                deadlocked=bool(self.deadlocked_r[j]),
+            ))
+        return outs

@@ -36,12 +36,15 @@ Two engines implement the *same* deterministic semantics:
   executable specification;
 - :class:`VectorizedSimulator` -- the production engine: routes are
   batched into a flat CSR :class:`~repro.network.routing.RouteTable`,
-  per-packet state lives in NumPy arrays, per-link FIFOs are intrusive
-  linked lists over those arrays, and each cycle advances every
-  contended link with a handful of array gathers instead of a Python
-  loop over packets.  Idle gaps between injections are skipped
-  outright.  Both engines produce bit-identical :class:`SimResult`
-  values, which the equivalence tests enforce.
+  per-packet state lives in NumPy arrays, and the cycle loop itself is
+  the fused advance kernel of :mod:`repro.network.kernel` -- the same
+  lock-step engine that batches K replications at once -- invoked here
+  with K = 1.  Per-link FIFOs are intrusive linked lists over flat
+  arrays, each cycle advances every contended link with a handful of
+  array gathers instead of a Python loop over packets, and idle gaps
+  between injections are skipped outright.  Both engines produce
+  bit-identical :class:`SimResult` values, which the equivalence tests
+  enforce.
 
 Faults
 ------
@@ -87,8 +90,8 @@ from repro.network.flowcontrol import (
     FlowOutcome,
     reference_flow_run,
     resolve_flits,
-    vectorized_flow_run,
 )
+from repro.network.kernel import KernelRun, _link_arrays, run_fused
 from repro.network.routing import BfsRouter, RouteTable
 from repro.network.topology import Topology
 from repro.network.traffic import uniform_traffic
@@ -245,69 +248,6 @@ def _build_table(topo: Topology, router, pairs) -> RouteTable:
     if hasattr(router, "build_table"):
         return router.build_table(topo, pairs)
     return RouteTable.build(topo, router, pairs)
-
-
-def _fifo_append(
-    succ: np.ndarray,
-    qhead: np.ndarray,
-    qtail: np.ndarray,
-    qlen: np.ndarray,
-    pids: np.ndarray,
-    links: np.ndarray,
-) -> None:
-    """Append packets to per-link FIFOs stored as intrusive linked lists
-    (``qhead``/``qtail``/``qlen`` per link, a ``succ`` pointer per
-    packet); arrival order within one call is ``(link, pid)``.
-
-    This *is* the queue discipline both the per-run vectorized loop and
-    the batched lock-step loop rely on -- one implementation, so the
-    tie-break can never drift between them.
-    """
-    order = np.lexsort((pids, links))
-    p, ln = pids[order], links[order]
-    boundary = np.ones(p.size, dtype=bool)
-    boundary[1:] = ln[1:] != ln[:-1]
-    succ[p] = -1
-    inner = ~boundary[1:]
-    succ[p[:-1][inner]] = p[1:][inner]
-    glinks = ln[boundary]
-    gheads = p[boundary]
-    gtails = p[np.concatenate((boundary[1:], [True]))]
-    starts = np.flatnonzero(boundary)
-    gsizes = np.diff(np.concatenate((starts, [p.size])))
-    was_empty = qhead[glinks] == -1
-    qhead[glinks[was_empty]] = gheads[was_empty]
-    succ[qtail[glinks[~was_empty]]] = gheads[~was_empty]
-    qtail[glinks] = gtails
-    qlen[glinks] += gsizes
-
-
-def _link_arrays(
-    num_nodes: int, table: RouteTable
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Per-row directed-link-id sequences and the link code book:
-    ``(link_seq, link_offsets, link_codes)``.
-
-    Link ids are ranks of the ``u * n + v`` codes of the directed edges
-    actually used, so the per-cycle ``bincount`` stays dense;
-    ``link_codes`` is the sorted code array those ranks index (used to
-    resolve fault plans onto link ids).
-    """
-    data, offsets = table.route_data, table.route_offsets
-    if data.size == 0:
-        return (np.empty(0, dtype=np.int64),
-                np.zeros(len(offsets), dtype=np.int64),
-                np.empty(0, dtype=np.int64))
-    last = np.zeros(data.size, dtype=bool)
-    last[offsets[1:] - 1] = True
-    valid = ~last[:-1]
-    codes = data[:-1][valid] * num_nodes + data[1:][valid]
-    uniq = np.unique(codes)
-    link_seq = np.searchsorted(uniq, codes)
-    lengths = offsets[1:] - offsets[:-1]
-    link_offsets = np.zeros(len(offsets), dtype=np.int64)
-    np.cumsum(lengths - 1, out=link_offsets[1:])
-    return link_seq, link_offsets, uniq
 
 
 def _prepare(
@@ -598,29 +538,18 @@ class ReferenceSimulator:
 
 
 class VectorizedSimulator:
-    """Array-based store-and-forward engine (same semantics, NumPy speed).
+    """Array-based engine (same semantics, NumPy speed), for every mode.
 
     All routes are flattened into a CSR route table and converted to
-    directed-link-id sequences once; per-link FIFOs are intrusive linked
-    lists over flat pid arrays (``qhead``/``qtail``/``qlen`` per link, a
-    ``succ`` pointer per packet).  Every cycle is then a constant number
-    of array operations, each proportional to the *served* set (one
-    packet per busy link), never to the whole waiting population:
-
-    1. inject the packets whose cycle has come (one slice + one grouped
-       append),
-    2. serve every busy link's head with two gathers
-       (``qhead[busy]`` / ``succ[served]``) -- after dropping, in one
-       masked store, every queue whose link a fault has killed,
-    3. advance the served packets: a gather against the flat link
-       sequences moves survivors to their next queue (grouped append,
-       sorted by ``(link, pid)``), finished packets record their
-       delivery cycle.
-
-    The append order -- this cycle's injections first, then this cycle's
-    forwards, pid-sorted within each group -- reproduces
-    :class:`ReferenceSimulator`'s queue discipline exactly.  Cycles in
-    which every queue is empty are skipped in O(1).
+    directed-link-id sequences once; the prepared run is then handed to
+    the fused advance kernel (:func:`repro.network.kernel.run_fused`) as
+    a one-run batch.  The kernel keeps per-link FIFOs as intrusive
+    linked lists over flat pid arrays (store-and-forward) or per
+    (link, VC) finite-buffer state (wormhole / vct), advances every
+    contended link per cycle with a handful of array gathers, skips idle
+    gaps between injections in O(1), and reproduces
+    :class:`ReferenceSimulator`'s queue discipline -- injections first,
+    then forwards, pid-sorted within each group -- exactly.
     """
 
     def __init__(self, topo: Topology, router=None):
@@ -667,114 +596,22 @@ class VectorizedSimulator:
                 latencies=(), max_queue=0, dropped=prep.num_dropped,
             )
         link_seq, link_offsets, link_codes = self._link_arrays(prep.table)
-        if flow.pipelined:
-            lengths = prep.table.lengths()
-            outcome = vectorized_flow_run(
-                self.topo, flow, link_seq, link_offsets, link_codes,
-                link_offsets[prep.row], lengths[prep.row] - 1, prep.inject,
-                flit_arr[prep.order], prep.link_dead, max_cycles,
-            )
-            return _flow_result(
-                outcome, prep.inject, lengths[prep.row] - 1,
-                prep.misroutes[prep.row], prep.num_dropped,
-            )
-        num_links = int(link_seq.max()) + 1 if link_seq.size else 1
-        dead_at = None
-        if prep.link_dead:
-            n = self.topo.num_nodes
-            dead_at = np.full(num_links, _NEVER, dtype=np.int64)
-            for (u, v), c in prep.link_dead.items():
-                code = u * n + v
-                i = int(np.searchsorted(link_codes, code))
-                if i < link_codes.size and link_codes[i] == code:
-                    dead_at[i] = c
-        inject = prep.inject
         nhops = prep.table.lengths()[prep.row] - 1
-        mis_of = prep.misroutes[prep.row]
-        first_link_at = link_offsets[prep.row]
-
-        delivered_at = np.full(num, -1, dtype=np.int64)
-        pos = np.zeros(num, dtype=np.int64)
-        # per-link FIFOs as intrusive linked lists over pid arrays: a queue
-        # is (qhead, qtail, qlen) per link plus a succ pointer per packet,
-        # so append (_fifo_append) and head-pop are O(1) gathers with no
-        # queue objects
-        succ = np.full(num, -1, dtype=np.int64)
-        qhead = np.full(num_links, -1, dtype=np.int64)
-        qtail = np.full(num_links, -1, dtype=np.int64)
-        qlen = np.zeros(num_links, dtype=np.int64)
-
-        in_flight = 0
-        next_pid = 0
-        max_queue = 0
-        dropped_in_flight = 0
-        last_busy = -1  # last cycle that injected or forwarded anything
-        cycle = int(inject[0]) if inject[0] < max_cycles else max_cycles
-        work_left = True
-        while cycle < max_cycles:
-            # inject every packet whose cycle has come
-            if next_pid < num and inject[next_pid] <= cycle:
-                hi = int(np.searchsorted(inject, cycle, side="right"))
-                fresh = np.arange(next_pid, hi, dtype=np.int64)
-                next_pid = hi
-                zero_hop = fresh[nhops[fresh] == 0]
-                delivered_at[zero_hop] = inject[zero_hop]
-                fresh = fresh[nhops[fresh] > 0]
-                if fresh.size:
-                    _fifo_append(succ, qhead, qtail, qlen,
-                                 fresh, link_seq[first_link_at[fresh]])
-                    in_flight += fresh.size
-                last_busy = cycle
-            if in_flight:
-                # serve the head of every non-empty queue
-                busy = np.flatnonzero(qlen)
-                max_queue = max(max_queue, int(qlen[busy].max()))
-                if dead_at is not None:
-                    alive = dead_at[busy] > cycle
-                    if not alive.all():
-                        slain = busy[~alive]
-                        lost = int(qlen[slain].sum())
-                        dropped_in_flight += lost
-                        in_flight -= lost
-                        qhead[slain] = -1
-                        qtail[slain] = -1
-                        qlen[slain] = 0
-                        busy = busy[alive]
-                served = qhead[busy]
-                qhead[busy] = succ[served]
-                qlen[busy] -= 1
-                pos[served] += 1
-                finished = pos[served] == nhops[served]
-                done = served[finished]
-                moving = served[~finished]
-                delivered_at[done] = cycle + 1
-                in_flight -= done.size
-                if moving.size:
-                    _fifo_append(succ, qhead, qtail, qlen, moving,
-                                 link_seq[first_link_at[moving] + pos[moving]])
-                last_busy = cycle
-                cycle += 1
-            elif next_pid < num:
-                cycle = min(int(inject[next_pid]), max_cycles)
-            else:
-                work_left = False
-                break
-        if work_left and (next_pid < num or in_flight):
-            cycles = max(max_cycles, 1)
-        else:
-            cycles = max(last_busy + 1, 1)
-        mask = delivered_at >= 0
-        latencies = tuple((delivered_at[mask] - inject[mask]).tolist())
-        return SimResult(
-            cycles=cycles,
-            injected=num + prep.num_dropped,
-            delivered=int(mask.sum()),
-            latencies=latencies,
-            max_queue=max_queue,
-            dropped=prep.num_dropped + dropped_in_flight,
-            misroutes=int(mis_of[mask].sum()),
-            hops=tuple(nhops[mask].tolist()),
-            stalled=num - int(mask.sum()) - dropped_in_flight,
+        run = KernelRun(
+            flow=flow,
+            inject=prep.inject,
+            nhops=nhops,
+            first_link_at=link_offsets[prep.row],
+            link_seq=link_seq,
+            link_offsets=link_offsets,
+            link_codes=link_codes,
+            nf=flit_arr[prep.order],
+            link_dead=prep.link_dead,
+        )
+        outcome = run_fused(self.topo, [run], max_cycles)[0]
+        return _flow_result(
+            outcome, prep.inject, nhops, prep.misroutes[prep.row],
+            prep.num_dropped,
         )
 
 

@@ -8,15 +8,15 @@ topology.  This module runs those grids at scale:
 - a sweep point is a fully picklable :class:`PointSpec` (topology,
   router and fault plan are *names/specs*, rebuilt inside the worker),
   so grids parallelise with :mod:`multiprocessing` across cores;
-- ``batch > 1`` packs compatible points -- store-and-forward pattern
-  points sharing a topology and cycle cap -- into lock-step batches for
+- ``batch > 1`` packs compatible points -- open-loop pattern points
+  sharing a topology and cycle cap, every switching mode included --
+  into lock-step batches for
   :class:`~repro.network.batch.BatchedSimulator`, so K replications
-  advance in *one* vectorized cycle loop and share one route-table
+  advance in *one* fused-kernel cycle loop and share one route-table
   build; multiprocessing then distributes whole batches, not points.
   Results are bit-identical to the unbatched sweep (the ``batch``
-  column records each record's co-batch size); wormhole/vct and
-  collective points do not batch natively and run point-by-point (see
-  :data:`repro.network.batch.BATCHED_MODES`);
+  column records each record's co-batch size); collective points are
+  closed-loop and run point-by-point;
 - each point generates seeded traffic from :mod:`repro.network.traffic`,
   runs the vectorized simulator -- under the point's
   :class:`~repro.network.faults.FaultPlan` when one is given -- and
@@ -353,11 +353,12 @@ def run_point(spec: PointSpec) -> SweepRecord:
 
 
 def _spec_batchable(spec: PointSpec) -> bool:
-    """Points the lock-step batch engine advances natively: open-loop
-    store-and-forward pattern points (collectives are closed-loop,
-    wormhole/vct fall back to sequential runs -- see
-    :data:`repro.network.batch.BATCHED_MODES`)."""
-    return not spec.collective and spec.switching == "sf"
+    """Points the lock-step batch engine advances natively: every
+    open-loop pattern point, switching mode regardless (the fused kernel
+    batches sf and wormhole/vct alike).  Collectives are closed-loop --
+    their barriers re-plan traffic between phases -- so they run
+    point-by-point."""
+    return not spec.collective
 
 
 def run_batch_points(specs: Sequence[PointSpec]) -> List[SweepRecord]:
@@ -367,7 +368,8 @@ def run_batch_points(specs: Sequence[PointSpec]) -> List[SweepRecord]:
     and cycle cap are packed into one
     :class:`~repro.network.batch.BatchedSimulator` lock-step run -- one
     router instance per router name, so replications also share route
-    tables; everything else falls back to :func:`run_point`.  Records
+    tables; switching modes mix freely within a pack.  Only closed-loop
+    collective points run through :func:`run_point`.  Records
     come back in ``specs`` order and are bit-identical to the unbatched
     ones, except that ``batch`` records each point's co-batch size.
 
@@ -394,9 +396,18 @@ def run_batch_points(specs: Sequence[PointSpec]) -> List[SweepRecord]:
                 spec.router, _resolve_router(spec.router)()
             )
             plan = _point_plan(spec, topo)
+            traffic = _point_traffic(spec, topo, plan)
+            # the exact switching/flits resolution of run_point, so a
+            # batched record can never diverge from the solo one
+            if spec.switching != "sf":
+                sizes: "int | list" = flit_sizes(
+                    len(traffic), spec.flits, seed=spec.seed
+                )
+            else:
+                sizes = 1
             items.append(BatchItem(
-                traffic=_point_traffic(spec, topo, plan),
-                router=router, faults=plan,
+                traffic=traffic, router=router, faults=plan,
+                switching=_point_flow(spec), flits=sizes,
             ))
             plans.append(plan)
         outcomes = BatchedSimulator(topo).run_batch(items, max_cycles=max_cycles)
@@ -437,8 +448,9 @@ def run_sweep(
     point's pattern/load axes are normalised away, so one collective
     entry contributes exactly one point per (topology, router, faults,
     flow, seed) cell.  ``batch > 1`` packs up to that many compatible
-    points (store-and-forward pattern points sharing topology and cycle
-    cap) into each lock-step :class:`~repro.network.batch.BatchedSimulator`
+    points (open-loop pattern points sharing topology and cycle cap,
+    any mix of switching modes)
+    into each lock-step :class:`~repro.network.batch.BatchedSimulator`
     run -- records stay bit-identical, only the ``batch`` column and the
     wall-clock change.  ``processes > 1`` distributes the work over a
     multiprocessing pool (whole batches when batching); specs are

@@ -4,21 +4,21 @@ The batch engine is only allowed to be *faster*, never *different*: a
 K-item batch must produce, item for item, exactly the ``SimResult`` a
 sequential ``VectorizedSimulator.run`` of that item produces -- fault
 plans, truncating cycle caps, droppy routers, mixed routers sharing (or
-not sharing) route tables, and the wormhole/vct sequential fallback all
-included.  This mirrors ``test_vectorized_equivalence.py`` one level up:
-that suite pins the vectorized engine to the reference spec, this one
-pins the batch axis to the vectorized engine, so the chain of custody
-back to the per-packet reference loop is complete.
+not sharing) route tables, and every switching mode (store-and-forward
+and the natively-batched wormhole/vct flow-control modes, mixed freely
+within one batch) all included.  This mirrors
+``test_vectorized_equivalence.py`` one level up: that suite pins the
+vectorized engine to the reference spec, this one pins the batch axis to
+the vectorized engine, so the chain of custody back to the per-packet
+reference loop is complete.
 """
 
 import pytest
 
 from repro.cubes.hypercube import hypercube
 from repro.network.batch import (
-    BATCHED_MODES,
     BatchedSimulator,
     BatchItem,
-    batches_natively,
     run_batch,
 )
 from repro.network.faults import FaultPlan
@@ -137,9 +137,9 @@ def test_batched_matches_sequential_under_cycle_cap(cap):
     assert all(r.cycles <= cap for r in got)
 
 
-def test_pipelined_items_fall_back_sequentially():
-    """Wormhole/vct items in a batch run through the sequential engine
-    (the capability flag says so) and still match it bit for bit."""
+def test_mixed_switching_modes_in_one_batch():
+    """sf, wormhole and vct items co-batch natively in one lock-step
+    loop and still match their sequential runs bit for bit."""
     topo = TOPOLOGIES["fibonacci"]
     traffic = make_traffic("uniform", topo, 100, 10, seed=7)
     sizes = flit_sizes(len(traffic), "1-4", seed=8)
@@ -157,10 +157,89 @@ def test_pipelined_items_fall_back_sequentially():
         ),
     ]
     assert BatchedSimulator(topo).run_batch(items) == _sequential(topo, items)
-    assert BATCHED_MODES == {"sf"}
-    assert batches_natively("sf")
-    assert not batches_natively("wormhole")
-    assert not batches_natively(FlowControl("vct"))
+
+
+@pytest.mark.parametrize("topo_name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("mode", ["wormhole", "vct"])
+@pytest.mark.parametrize("plan_name", ["none", "static", "staged"])
+def test_batched_flow_control_matches_sequential(topo_name, mode, plan_name):
+    """The flow-control acceptance grid: wormhole/vct batches -- varying
+    VC counts, buffer depths and flit mixes per item, fault epochs
+    splitting mid-batch included -- bit-identical to sequential runs."""
+    topo = TOPOLOGIES[topo_name]
+    plan = _fault_plans(topo)[plan_name]
+    router = BfsRouter()
+    items = []
+    for i in range(4):
+        pattern = ("uniform", "hotspot", "transpose", "bursty")[i % 4]
+        traffic = make_traffic(
+            pattern, topo, 60 + 30 * i, 8 + 2 * i, seed=i, faults=plan
+        )
+        depth = (2, 4, 3, 6)[i]
+        items.append(BatchItem(
+            traffic=traffic, router=router, faults=plan,
+            switching=FlowControl(mode, buffer_depth=depth, num_vcs=1 + i % 3),
+            flits=flit_sizes(len(traffic), ("1-4", "2", "1", "2-6")[i], seed=i)
+            if mode == "wormhole" else
+            flit_sizes(len(traffic), ("1-2", "2", "1", "2-3")[i], seed=i),
+        ))
+    got = BatchedSimulator(topo).run_batch(items)
+    want = _sequential(topo, items)
+    assert got == want, (topo_name, mode, plan_name)
+    assert any(r.delivered for r in got)
+
+
+def test_deadlocked_run_inside_a_batch():
+    """A run that deadlocks must be convicted inside the batch exactly as
+    it is sequentially -- frozen at the same cycle, same stalled count --
+    while healthy runs in the same batch finish normally."""
+    # BFS shortest paths on the non-isometric Q_5(1010) cube form
+    # channel-dependency cycles; one VC and one-flit buffers make them
+    # bite under load
+    topo = topology_of(("1010", 5))
+    router = BfsRouter()
+    tight = FlowControl("wormhole", buffer_depth=1, num_vcs=1)
+    roomy = FlowControl("wormhole", buffer_depth=8, num_vcs=2)
+    items = []
+    for seed in range(6):
+        traffic = make_traffic("uniform", topo, 120, 2, seed=seed)
+        items.append(BatchItem(
+            traffic, router=router,
+            switching=tight if seed % 2 == 1 else roomy,
+            flits=flit_sizes(len(traffic), "2-6", seed=seed),
+        ))
+    want = _sequential(topo, items)
+    # the scenario must actually exercise both verdicts, or the test
+    # isn't testing what it claims
+    assert any(r.deadlocked for r in want)
+    assert any(not r.deadlocked and r.delivered for r in want)
+    got = BatchedSimulator(topo).run_batch(items)
+    assert got == want
+    for g in got:
+        if g.deadlocked:
+            assert g.stalled > 0
+
+
+@pytest.mark.parametrize("cap", [1, 7, 29])
+def test_batched_flow_control_under_cycle_cap(cap):
+    """Cycle-cap truncation of pipelined runs inside a batch: per-run
+    cycle counts, stall totals and deadlock flags all match."""
+    topo = TOPOLOGIES["fibonacci"]
+    router = BfsRouter()
+    items = []
+    for seed in range(4):
+        traffic = make_traffic("hotspot", topo, 100, 2, seed=seed)
+        items.append(BatchItem(
+            traffic, router=router,
+            switching=FlowControl(
+                ("wormhole", "vct")[seed % 2], buffer_depth=4,
+                num_vcs=1 + seed % 2,
+            ),
+            flits=flit_sizes(len(traffic), "1-4", seed=seed),
+        ))
+    got = BatchedSimulator(topo).run_batch(items, max_cycles=cap)
+    assert got == _sequential(topo, items, max_cycles=cap)
+    assert all(r.cycles <= cap for r in got)
 
 
 def test_droppy_router_and_empty_items():

@@ -8,8 +8,9 @@ asserts the reference and vectorized engines produce bit-identical
 ``SimResult``s on every sampled case.  A companion pass fuzzes the
 closed-loop collective compiler the same way, and a batch pass stacks a
 random K of mixed replications (seeds, loads, patterns, routers, fault
-plans, switching modes) into one ``BatchedSimulator`` run and checks it
-against K sequential vectorized runs.
+plans, switching modes -- sf, wormhole and vct all batch natively
+through the fused kernel) into one ``BatchedSimulator`` run and checks
+it against K sequential vectorized runs.
 
 Scaling and reproduction
 ------------------------
@@ -165,7 +166,10 @@ def sample_batch_case(seed: int) -> dict:
     topo = parse_topology(topology)
     reps = []
     for _ in range(rng.randint(2, 6)):
-        switching = rng.choice(("sf", "sf", "wormhole", "vct"))
+        # equal thirds: every switching mode batches natively, so the
+        # batch pass stresses the fused kernel's flow-control engine as
+        # hard as its store-and-forward one
+        switching = rng.choice(("sf", "wormhole", "vct"))
         if switching == "sf":
             num_vcs, buffer_depth, flits = 1, 0, "1"
         else:

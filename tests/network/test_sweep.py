@@ -340,9 +340,10 @@ class TestBatchAxis:
             batch=4, **self.GRID
         )
 
-    def test_unbatchable_points_run_alone(self):
-        """Wormhole and collective points do not batch natively: their
-        records carry batch=1 while the sf pattern points co-batch."""
+    def test_only_collective_points_run_alone(self):
+        """Every open-loop pattern point batches natively -- sf and
+        wormhole co-batch into one pack -- while closed-loop collective
+        points carry batch=1."""
         records = run_sweep(
             ["11:5"], patterns=("uniform",), loads=(0.2, 0.4),
             switching=("sf", "wormhole"), flits=("2",),
@@ -352,8 +353,8 @@ class TestBatchAxis:
         for r in records:
             kind = "coll" if r.collective else r.switching
             by_kind.setdefault(kind, set()).add(r.batch)
-        assert by_kind["sf"] == {2}  # the two sf loads co-batched
-        assert by_kind["wormhole"] == {1}
+        assert by_kind["sf"] == {4}  # 2 sf + 2 wormhole loads, one pack
+        assert by_kind["wormhole"] == {4}
         assert by_kind["coll"] == {1}
 
     def test_batched_faulted_grid_matches(self):

@@ -1,0 +1,131 @@
+"""The benchmark-trajectory gate: compare_baselines.py and the
+checked-in baselines under ``benchmarks/baselines/``.
+
+The CI benchmark-regression job times four suites and compares each
+fresh JSON against its checked-in baseline with a normalized-share
+tolerance band (see ``benchmarks/compare_baselines.py``).  These tests
+keep that gate honest: the comparison logic is unit-tested on synthetic
+regressions, and the baselines themselves are checked for integrity so
+a truncated or stale file fails tier-1 rather than silently neutering
+the CI gate.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINES = REPO / "benchmarks" / "baselines"
+BASELINE_FILES = (
+    "BENCH_network.json",
+    "BENCH_flowcontrol.json",
+    "BENCH_collectives.json",
+    "BENCH_batch.json",
+)
+
+
+@pytest.fixture(scope="module")
+def cb():
+    """The compare_baselines module, loaded by path (benchmarks/ is not
+    a package)."""
+    path = REPO / "benchmarks" / "compare_baselines.py"
+    spec = importlib.util.spec_from_file_location("compare_baselines", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["compare_baselines"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _means(**kv):
+    return {f"bench.py::{k}": float(v) for k, v in kv.items()}
+
+
+class TestCompare:
+    def test_identical_runs_pass(self, cb):
+        base = _means(a=1.0, b=3.0)
+        rows, missing, new = cb.compare(base, dict(base), 0.25, False)
+        assert [r[4] for r in rows] == ["ok", "ok"]
+        assert missing == [] and new == []
+
+    def test_uniform_slowdown_passes_normalized(self, cb):
+        """A 2x-slower machine changes no share: the normalized gate
+        must not fire on runner speed."""
+        base = _means(a=1.0, b=3.0)
+        fresh = {k: v * 2.0 for k, v in base.items()}
+        rows, _, _ = cb.compare(base, fresh, 0.25, False)
+        assert all(r[4] == "ok" for r in rows)
+        # ... but the absolute gate (local use) does fire
+        rows_abs, _, _ = cb.compare(base, fresh, 0.25, True)
+        assert all(r[4] == "FAIL" for r in rows_abs)
+
+    def test_single_workload_regression_fails(self, cb):
+        """One benchmark ballooning relative to its peers trips the
+        gate even though the suite ran on an unknown machine."""
+        base = _means(a=1.0, b=1.0, c=1.0)
+        fresh = _means(a=3.0, b=1.0, c=1.0)  # a: 33% -> 60% share
+        rows, _, _ = cb.compare(base, fresh, 0.25, False)
+        verdicts = {r[0].split("::")[1]: r[4] for r in rows}
+        assert verdicts["a"] == "FAIL"
+        assert verdicts["b"] == "ok" and verdicts["c"] == "ok"
+
+    def test_regression_within_tolerance_passes(self, cb):
+        base = _means(a=1.0, b=1.0)
+        fresh = _means(a=1.3, b=1.0)  # a: 50% -> 56.5% share, +13%
+        rows, _, _ = cb.compare(base, fresh, 0.25, False)
+        assert all(r[4] == "ok" for r in rows)
+
+    def test_missing_benchmark_is_a_failure(self, cb):
+        rows, missing, new = cb.compare(
+            _means(a=1.0, b=1.0), _means(a=1.0), 0.25, False
+        )
+        assert missing == ["bench.py::b"]
+        assert new == []
+
+    def test_new_benchmark_passes_with_notice(self, cb):
+        rows, missing, new = cb.compare(
+            _means(a=1.0), _means(a=1.0, b=1.0), 0.25, False
+        )
+        assert missing == []
+        assert new == ["bench.py::b"]
+
+    def test_main_exit_codes(self, cb, tmp_path):
+        def dump(name, means):
+            doc = {"benchmarks": [
+                {"fullname": k, "stats": {"mean": v}} for k, v in means.items()
+            ]}
+            p = tmp_path / name
+            p.write_text(json.dumps(doc))
+            return str(p)
+
+        base = dump("base.json", _means(a=1.0, b=1.0, c=1.0))
+        good = dump("good.json", _means(a=1.1, b=1.0, c=1.0))
+        bad = dump("bad.json", _means(a=9.0, b=1.0, c=1.0))
+        assert cb.main([base, good]) == 0
+        assert cb.main([base, bad]) == 1
+        assert cb.main([base, bad, "--tolerance", "9"]) == 0
+
+
+class TestCheckedInBaselines:
+    @pytest.mark.parametrize("name", BASELINE_FILES)
+    def test_baseline_parses_and_has_benchmarks(self, cb, name):
+        means = cb.load_means(str(BASELINES / name))
+        assert means, f"{name} has no benchmarks"
+        assert all(v > 0 for v in means.values()), name
+
+    def test_batch_baseline_covers_the_speedup_gates(self, cb):
+        """The batch baseline must keep tracking both batched-speedup
+        acceptance gates (sf and wormhole grids)."""
+        means = cb.load_means(str(BASELINES / "BENCH_batch.json"))
+        names = {k.split("::")[-1] for k in means}
+        assert "test_bench_sweep_batched_speedup" in names
+        assert "test_bench_sweep_batched_flow_speedup" in names
+
+    def test_baseline_compares_clean_against_itself(self, cb):
+        for name in BASELINE_FILES:
+            means = cb.load_means(str(BASELINES / name))
+            rows, missing, new = cb.compare(means, dict(means), 0.25, False)
+            assert not missing and not new
+            assert all(r[4] == "ok" for r in rows), name
