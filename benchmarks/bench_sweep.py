@@ -13,8 +13,11 @@ multi-seed grid into lock-step
 least 3x the sweep throughput of the point-by-point harness while
 producing bit-identical records -- and since the fused kernel batches
 every switching mode natively, the claim holds for flow-control points
-too.  These are *timing* gates and belong to the benchmark-regression
-CI job (uploaded as ``BENCH_batch.json``), not the untimed smoke pass.
+too.  ``test_bench_sweep_warm_cache`` is the sweep-service cache's
+acceptance claim: a warm content-addressed cache answers the whole grid
+without simulating a single point.  These are *timing* gates and belong
+to the benchmark-regression CI job (uploaded as ``BENCH_batch.json``),
+not the untimed smoke pass.
 """
 
 import time
@@ -155,6 +158,41 @@ def test_bench_sweep_batched_flow_speedup(benchmark):
         ],
     )
     assert speedup >= 3.0, f"batched wormhole sweep only {speedup:.1f}x faster"
+
+
+def test_bench_sweep_warm_cache(benchmark, tmp_path):
+    """The sweep-service cache acceptance gate: with a warm
+    content-addressed cache, repeating the full multi-seed grid
+    re-simulates *zero* points (the stores counter does not move) and
+    the repeat is a pure disk read -- at least 3x faster than the cold
+    batched fill it replays, in practice orders of magnitude.  Records
+    stay bit-identical to the uncached harness apart from the ``batch``
+    bookkeeping column (cache hits always report 1)."""
+    from repro.network.service import ResultCache
+
+    cache = ResultCache(tmp_path / "cache")
+    cold_seconds = _timed(lambda: run_sweep(cache=cache, batch=BATCH, **SEEDED_GRID))
+    cold_stores = cache.stores
+    warm = benchmark(lambda: run_sweep(cache=cache, **SEEDED_GRID))
+    assert cache.stores == cold_stores, "warm repeat re-simulated points"
+    assert warm == run_sweep(**SEEDED_GRID)
+
+    warm_seconds = min(
+        _timed(lambda: run_sweep(cache=cache, **SEEDED_GRID)) for _ in range(3)
+    )
+    assert cache.stores == cold_stores
+    speedup = cold_seconds / warm_seconds
+    print_table(
+        f"Warm-cache repeat, standard grid x 4 seeds ({len(warm)} points)",
+        ["harness", "seconds", "points/s", "speedup"],
+        [
+            ("cold (batched fill)", f"{cold_seconds:.3f}",
+             f"{len(warm) / cold_seconds:.0f}", "1.0x"),
+            ("warm (pure cache)", f"{warm_seconds:.3f}",
+             f"{len(warm) / warm_seconds:.0f}", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= 3.0, f"warm-cache repeat only {speedup:.1f}x faster"
 
 
 def test_bench_batched_grid_with_faults_matches(benchmark):

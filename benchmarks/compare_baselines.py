@@ -44,12 +44,24 @@ DEFAULT_TOLERANCE = 0.25
 
 def load_means(path: str) -> Dict[str, float]:
     """Map benchmark fullname -> mean seconds from a pytest-benchmark
-    JSON file."""
-    with open(path) as fh:
-        doc = json.load(fh)
+    JSON file.  Failures name the offending file: when CI compares four
+    suites in one loop, "No such file" without a path is a treasure
+    hunt."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"compare_baselines: cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"compare_baselines: {path} is not valid JSON: {exc}")
     means: Dict[str, float] = {}
     for bench in doc.get("benchmarks", []):
         means[bench["fullname"]] = float(bench["stats"]["mean"])
+    if not means:
+        raise SystemExit(
+            f"compare_baselines: {path} contains no benchmarks "
+            "(was the suite run with --benchmark-json?)"
+        )
     return means
 
 
@@ -152,12 +164,16 @@ def main(argv: List[str] | None = None) -> int:
     failed = [r[0] for r in rows if r[4] == "FAIL"] + missing
     if failed:
         print(
-            f"FAIL: {len(failed)} benchmark(s) regressed beyond "
+            f"FAIL [{args.fresh} vs baseline {args.baseline}]: "
+            f"{len(failed)} benchmark(s) regressed beyond "
             f"{args.tolerance:.0%}: " + ", ".join(failed),
             file=sys.stderr,
         )
         return 1
-    print(f"ok: {len(rows)} benchmark(s) within {args.tolerance:.0%} of baseline")
+    print(
+        f"ok [{args.fresh}]: {len(rows)} benchmark(s) within "
+        f"{args.tolerance:.0%} of {args.baseline}"
+    )
     return 0
 
 

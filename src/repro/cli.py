@@ -22,9 +22,20 @@ Subcommands
     curves, ``--switching/--vcs/--buffer/--flits`` sweep the wormhole /
     virtual-cut-through flow-control configurations, ``--collective``
     adds closed-loop collective workloads (broadcast, reduce, allgather,
-    alltoall, ring) compiled with per-round barriers, and ``--batch``
+    alltoall, ring) compiled with per-round barriers, ``--batch``
     co-batches compatible points into lock-step simulator runs
-    (bit-identical records, several times the throughput).
+    (bit-identical records, several times the throughput), and
+    ``--cache-dir`` consults/fills the content-addressed result cache so
+    repeated grid cells are never re-simulated.
+``gfc serve``
+    Long-lived sweep job server (asyncio + worker pool) over the same
+    cache: clients submit grids, cached cells answer instantly, missing
+    cells fan out to workers and stream back as they land.
+``gfc submit``
+    Send a sweep grid to a running server and stream the records;
+    ``--csv``/``--json`` output is byte-identical to ``gfc sweep``.
+``gfc jobs``
+    List the jobs a running server has seen.
 
 Installed both as ``gfc`` and as ``repro``.
 """
@@ -96,6 +107,94 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="saturation-curve sweep on the vectorized network simulator",
     )
+    _add_grid_args(p_swp)
+    p_swp.add_argument(
+        "--processes", type=int, default=1,
+        help="worker processes for the grid (default: serial)",
+    )
+    p_swp.add_argument(
+        "--batch", type=int, default=1,
+        help="co-batch up to N compatible points (open-loop pattern "
+             "points sharing a topology, any switching mode) per "
+             "lock-step simulator run; results are bit-identical, the "
+             "grid just finishes faster (default: %(default)s = "
+             "unbatched)",
+    )
+    p_swp.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="consult/fill the content-addressed result cache at DIR "
+             "(created if missing); cached grid cells are returned "
+             "without re-simulation, so repeated or grown grids are "
+             "incremental (default: no cache)",
+    )
+    p_swp.add_argument("--csv", metavar="PATH", help="write records as CSV")
+    p_swp.add_argument("--json", metavar="PATH", help="write records as JSON")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="long-lived sweep job server (asyncio + worker pool + "
+             "content-addressed result cache)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_srv.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default: 8642; 0 = ephemeral)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    p_srv.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a result cache: every submitted cell is "
+             "simulated fresh",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool width (default: the executor's default)",
+    )
+    p_srv.add_argument(
+        "--processes", action="store_true",
+        help="simulate in a process pool instead of threads",
+    )
+    p_srv.add_argument(
+        "--batch", type=int, default=1,
+        help="default co-batch size for submitted grids "
+             "(default: %(default)s = every cell alone)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit a sweep grid to a running server and stream records",
+    )
+    _add_grid_args(p_sub)
+    p_sub.add_argument("--host", default="127.0.0.1", help="server address")
+    p_sub.add_argument(
+        "--port", type=int, default=None,
+        help="server port (default: 8642)",
+    )
+    p_sub.add_argument(
+        "--batch", type=int, default=None,
+        help="override the server's co-batch size for this job",
+    )
+    p_sub.add_argument("--csv", metavar="PATH", help="write records as CSV")
+    p_sub.add_argument("--json", metavar="PATH", help="write records as JSON")
+
+    p_jobs = sub.add_parser("jobs", help="list a running server's jobs")
+    p_jobs.add_argument("--host", default="127.0.0.1", help="server address")
+    p_jobs.add_argument(
+        "--port", type=int, default=None,
+        help="server port (default: 8642)",
+    )
+
+    return parser
+
+
+def _add_grid_args(p_swp) -> None:
+    """The sweep-grid axes, shared verbatim by ``sweep`` and ``submit``
+    (one grid language, whether the points run in-process or on the
+    server)."""
     p_swp.add_argument(
         "--topo", action="append", dest="topos", metavar="SPEC",
         help="topology spec 'Q:<d>' or '<factor>:<d>'; repeatable "
@@ -160,22 +259,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-cycles", type=int, default=100000,
         help="simulation cycle cap per point (default: %(default)s)",
     )
-    p_swp.add_argument(
-        "--processes", type=int, default=1,
-        help="worker processes for the grid (default: serial)",
-    )
-    p_swp.add_argument(
-        "--batch", type=int, default=1,
-        help="co-batch up to N compatible points (open-loop pattern "
-             "points sharing a topology, any switching mode) per "
-             "lock-step simulator run; results are bit-identical, the "
-             "grid just finishes faster (default: %(default)s = "
-             "unbatched)",
-    )
-    p_swp.add_argument("--csv", metavar="PATH", help="write records as CSV")
-    p_swp.add_argument("--json", metavar="PATH", help="write records as JSON")
-
-    return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -202,39 +285,75 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_wiener(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     raise AssertionError("unreachable")
 
 
-def _cmd_sweep(args) -> int:
-    from repro.network.sweep import (
-        run_sweep,
-        saturation_curves,
-        write_csv,
-        write_json,
+def _grid_from_args(args) -> dict:
+    """The expand_grid keyword dict a sweep/submit invocation names --
+    the same parsing whether the grid runs in-process or on the server."""
+    return dict(
+        topologies=args.topos or ["Q:7", "11:7"],
+        patterns=[p for p in args.patterns.split(",") if p],
+        loads=[float(x) for x in args.loads.split(",") if x],
+        routers=[r for r in args.routers.split(",") if r],
+        seeds=[int(s) for s in args.seeds.split(",") if s],
+        faults=args.faults if args.faults else [""],
+        switching=[s for s in args.switching.split(",") if s],
+        vcs=[int(v) for v in args.vcs.split(",") if v],
+        buffers=[int(b) for b in args.buffer.split(",") if b],
+        flits=[f for f in args.flits.split(",") if f],
+        collectives=args.collectives if args.collectives else [""],
+        inject_window=args.window,
+        max_cycles=args.max_cycles,
     )
 
-    topos = args.topos or ["Q:7", "11:7"]
+
+def _write_outputs(records, args) -> None:
+    from repro.network.sweep import write_csv, write_json
+
+    if args.csv:
+        write_csv(records, args.csv)
+        print(f"wrote {len(records)} records to {args.csv}")
+    if args.json:
+        write_json(records, args.json)
+        print(f"wrote {len(records)} records to {args.json}")
+
+
+def _cmd_sweep(args) -> int:
+    from repro.network.sweep import run_sweep
+
+    cache = None
+    if args.cache_dir:
+        from repro.network.service import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     try:
         records = run_sweep(
-            topologies=topos,
-            patterns=[p for p in args.patterns.split(",") if p],
-            loads=[float(x) for x in args.loads.split(",") if x],
-            routers=[r for r in args.routers.split(",") if r],
-            seeds=[int(s) for s in args.seeds.split(",") if s],
-            faults=args.faults if args.faults else ("",),
-            switching=[s for s in args.switching.split(",") if s],
-            vcs=[int(v) for v in args.vcs.split(",") if v],
-            buffers=[int(b) for b in args.buffer.split(",") if b],
-            flits=[f for f in args.flits.split(",") if f],
-            collectives=args.collectives if args.collectives else ("",),
-            inject_window=args.window,
-            max_cycles=args.max_cycles,
-            processes=args.processes,
-            batch=args.batch,
+            processes=args.processes, batch=args.batch, cache=cache,
+            **_grid_from_args(args),
         )
     except ValueError as exc:
         print(f"sweep: error: {exc}", file=sys.stderr)
         return 2
+    _print_curves(records)
+    if cache is not None:
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es), "
+            f"{cache.stores} store(d) at {cache.root}"
+        )
+    _write_outputs(records, args)
+    return 0
+
+
+def _print_curves(records) -> None:
+    from repro.network.sweep import saturation_curves
+
     header = (
         f"{'topology':>12} {'router':>9} {'pattern':>12} {'load':>6} "
         f"{'avg lat':>8} {'p95':>7} {'thruput':>8} {'deliv':>6} "
@@ -257,12 +376,99 @@ def _cmd_sweep(args) -> int:
                 f"{r.delivery_rate:>6.3f} {r.dropped:>6.1f} {r.stalled:>6.1f} "
                 f"{r.deadlock_rate:>5.2f} {r.max_queue:>5}"
             )
-    if args.csv:
-        write_csv(records, args.csv)
-        print(f"wrote {len(records)} records to {args.csv}")
-    if args.json:
-        write_json(records, args.json)
-        print(f"wrote {len(records)} records to {args.json}")
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.network.service import DEFAULT_PORT, ResultCache, SweepServer
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    server = SweepServer(
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        cache=cache,
+        workers=args.workers,
+        use_processes=args.processes,
+        batch=args.batch,
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        where = cache.root if cache is not None else "disabled"
+        print(f"repro sweep service on {host}:{port} (cache: {where})")
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    print(f"served {len(server.jobs)} job(s)")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.network.service import DEFAULT_PORT, ServiceError, SweepClient
+
+    client = SweepClient(
+        host=args.host, port=DEFAULT_PORT if args.port is None else args.port
+    )
+    progress = {"cached": 0, "simulated": 0, "points": 0, "job": 0}
+
+    def on_event(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "accepted":
+            progress["job"] = event["job"]
+            progress["points"] = event["points"]
+            print(f"job {event['job']} accepted: {event['points']} point(s)")
+        elif kind == "record":
+            progress["cached" if event["cached"] else "simulated"] += 1
+
+    try:
+        records = client.submit(
+            _grid_from_args(args), batch=args.batch, on_event=on_event
+        )
+    except (ServiceError, ValueError) as exc:
+        print(f"submit: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(
+            f"submit: cannot reach server at {client.host}:{client.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    _print_curves(records)
+    print(
+        f"job {progress['job']}: {progress['points']} point(s), "
+        f"{progress['cached']} from cache, {progress['simulated']} simulated"
+    )
+    _write_outputs(records, args)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.network.service import DEFAULT_PORT, ServiceError, SweepClient
+
+    client = SweepClient(
+        host=args.host, port=DEFAULT_PORT if args.port is None else args.port
+    )
+    try:
+        jobs = client.jobs()
+    except (ServiceError, OSError) as exc:
+        print(f"jobs: error: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("no jobs yet")
+        return 0
+    print(f"{'job':>5} {'state':>8} {'points':>7} {'cached':>7} "
+          f"{'simmed':>7} {'topologies'}")
+    for job in jobs:
+        print(
+            f"{job['job']:>5} {job['state']:>8} {job['points']:>7} "
+            f"{job['cached']:>7} {job['simulated']:>7} "
+            f"{','.join(job['topologies'])}"
+            + (f"  [{job['error']}]" if job.get("error") else "")
+        )
     return 0
 
 

@@ -1,0 +1,49 @@
+"""Sweep-as-a-service: job server, client, and the content-addressed
+result cache.
+
+The sweep harness's production face.  ``repro serve`` keeps a
+long-lived :class:`SweepServer` next to a :class:`ResultCache`;
+``repro submit`` (or any :class:`SweepClient`) sends sweep grids over
+the local socket and streams records back as they land.  Every grid
+cell is content-addressed by :func:`point_key` -- a SHA-256 over the
+canonical, version-stamped encoding of its normalised
+:class:`~repro.network.sweep.PointSpec` -- so no cell is ever simulated
+twice, re-submitting a grid runs only its missing cells, and the
+one-shot ``run_sweep(cache=...)`` path shares the same store.  The
+newline-delimited-JSON wire format (:mod:`~repro.network.service.protocol`)
+round-trips :class:`~repro.network.sweep.SweepRecord` bit-exactly: CSV
+or JSON written from streamed records is byte-identical to the one-shot
+CLI output, and CI's ``service-contract`` job holds it to the golden
+fixtures.
+"""
+
+from repro.network.service.cache import (
+    CACHE_VERSION,
+    ResultCache,
+    canonical_encoding,
+    default_cache_dir,
+    point_key,
+)
+from repro.network.service.client import ServiceError, SweepClient
+from repro.network.service.protocol import (
+    PROTOCOL_VERSION,
+    record_from_wire,
+    record_to_wire,
+)
+from repro.network.service.server import DEFAULT_PORT, Job, SweepServer
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_PORT",
+    "Job",
+    "PROTOCOL_VERSION",
+    "ResultCache",
+    "ServiceError",
+    "SweepClient",
+    "SweepServer",
+    "canonical_encoding",
+    "default_cache_dir",
+    "point_key",
+    "record_from_wire",
+    "record_to_wire",
+]

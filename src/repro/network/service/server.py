@@ -1,0 +1,315 @@
+"""The sweep job server: asyncio front door, worker pool, shared cache.
+
+``repro serve`` keeps one of these alive so sweep grids stop being
+one-shot CLI invocations: clients submit grids over the local socket
+(:mod:`repro.network.service.protocol`), the server expands each grid
+with the exact :func:`~repro.network.sweep.expand_grid` semantics of
+``repro sweep``, answers every cell it has already simulated straight
+from the content-addressed :class:`~repro.network.service.ResultCache`,
+packs the missing cells into :func:`~repro.network.sweep.run_batch_points`
+tasks, fans those out to a thread or process pool, and streams each
+record back the moment it lands.  Because the cache is consulted per
+cell, grids are resumable for free: re-submitting an interrupted or
+grown grid simulates only the cells the store has never seen.
+
+The asyncio loop only ever shuffles messages and futures; every
+simulation runs in the pool, so a long grid never blocks ``ping`` /
+``jobs`` introspection or other clients' submissions.  One server
+process, many concurrent clients, one shared cache and one shared pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.service.cache import ResultCache
+from repro.network.service.protocol import (
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+    record_to_wire,
+    validate_grid,
+)
+from repro.network.sweep import (
+    PointSpec,
+    SweepRecord,
+    _spec_batchable,
+    expand_grid,
+    run_batch_points,
+)
+
+__all__ = ["DEFAULT_PORT", "Job", "SweepServer"]
+
+DEFAULT_PORT = 8642
+
+# submit requests may stream for a while; reads of the single request
+# line are bounded so a rogue client cannot buffer unbounded garbage
+_MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+
+@dataclass
+class Job:
+    """Bookkeeping for one submitted grid (what ``repro jobs`` shows)."""
+
+    id: int
+    topologies: Tuple[str, ...]
+    points: int
+    state: str = "running"  # running | done | failed
+    cached: int = 0
+    simulated: int = 0
+    streamed: int = 0
+    error: str = ""
+
+    def snapshot(self) -> dict:
+        return {
+            "job": self.id,
+            "topologies": list(self.topologies),
+            "points": self.points,
+            "state": self.state,
+            "cached": self.cached,
+            "simulated": self.simulated,
+            "streamed": self.streamed,
+            "error": self.error,
+        }
+
+
+@dataclass
+class _PoolConfig:
+    workers: Optional[int] = None
+    use_processes: bool = False
+    executor: Optional[Executor] = None
+    active: set = field(default_factory=set)
+
+
+class SweepServer:
+    """Async job server over the sweep engine.
+
+    ``port=0`` binds an ephemeral port (``start`` returns the real
+    address).  ``cache=None`` disables result caching -- every submit
+    then simulates every cell (the ``--no-cache`` bypass).  ``batch``
+    is the co-batch size missing cells are packed with (1 = every cell
+    alone, records bit-identical to the unbatched CLI); ``workers`` the
+    pool width (``None`` = the executor default), simulated in threads
+    unless ``use_processes`` (NumPy releases the GIL for the heavy array
+    work, so threads are the cheap default; processes sidestep it
+    entirely for pure-python-bound grids).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache: Optional[ResultCache] = None,
+        workers: Optional[int] = None,
+        use_processes: bool = False,
+        batch: int = 1,
+    ):
+        if batch < 1:
+            raise ValueError(f"batch must be at least 1, got {batch}")
+        self.host = host
+        self.port = port
+        self.cache = cache
+        self.batch = batch
+        self.jobs: Dict[int, Job] = {}
+        self._job_ids = itertools.count(1)
+        self._pool = _PoolConfig(workers=workers, use_processes=use_processes)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the (host, port) actually
+        bound (meaningful with ``port=0``)."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        if self._pool.executor is None:
+            cls = ProcessPoolExecutor if self._pool.use_processes else ThreadPoolExecutor
+            self._pool.executor = cls(max_workers=self._pool.workers)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=_MAX_REQUEST_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Accept connections until a ``shutdown`` request (or
+        :meth:`request_shutdown`); drains in-flight jobs before
+        returning."""
+        assert self._server is not None, "call start() first"
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        if self._pool.active:
+            await asyncio.gather(*self._pool.active, return_exceptions=True)
+        self._pool.executor.shutdown(wait=True)
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (what ``repro serve`` wires to
+        SIGINT and tests use to stop a background server)."""
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._pool.active.add(task)
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                msg = decode_line(line)
+            except ValueError as exc:
+                await self._send(writer, {"event": "error", "message": str(exc)})
+                return
+            op = msg.get("op")
+            if op == "submit":
+                await self._handle_submit(writer, msg)
+            elif op == "jobs":
+                await self._send(writer, {
+                    "event": "jobs",
+                    "jobs": [self.jobs[j].snapshot() for j in sorted(self.jobs)],
+                })
+            elif op == "ping":
+                await self._send(writer, {
+                    "event": "pong",
+                    "protocol": PROTOCOL_VERSION,
+                    "jobs": len(self.jobs),
+                    "cache": str(self.cache.root) if self.cache is not None else "",
+                })
+            elif op == "shutdown":
+                await self._send(writer, {"event": "bye"})
+                self._shutdown.set()
+            else:
+                await self._send(
+                    writer, {"event": "error", "message": f"unknown op {op!r}"}
+                )
+        finally:
+            self._pool.active.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send(self, writer, msg: dict) -> None:
+        writer.write(encode_message(msg))
+        await writer.drain()
+
+    # -- the submit pipeline ------------------------------------------------
+
+    async def _handle_submit(self, writer, msg: dict) -> None:
+        try:
+            grid = validate_grid(msg.get("grid"))
+            batch = int(msg.get("batch", self.batch))
+            if batch < 1:
+                raise ValueError(f"batch must be at least 1, got {batch}")
+            # grid expansion builds topologies to validate fault plans;
+            # run it in the pool so a huge grid cannot stall the loop
+            specs = await self._run_blocking(lambda: expand_grid(**grid))
+        except (TypeError, ValueError) as exc:
+            await self._send(writer, {"event": "error", "message": str(exc)})
+            return
+        job = Job(
+            id=next(self._job_ids),
+            topologies=tuple(dict.fromkeys(s.topology for s in specs)),
+            points=len(specs),
+        )
+        self.jobs[job.id] = job
+        await self._send(
+            writer, {"event": "accepted", "job": job.id, "points": len(specs)}
+        )
+        try:
+            await self._stream_grid(writer, job, specs, batch)
+        except (ConnectionError, OSError):
+            # client went away mid-stream; the job keeps its state for
+            # `repro jobs`, and everything already simulated is cached
+            job.state = "failed"
+            job.error = "client disconnected"
+            return
+        except Exception as exc:  # simulation bug: report, don't kill the server
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            await self._send(writer, {"event": "error", "message": job.error})
+            return
+        job.state = "done"
+        await self._send(writer, {
+            "event": "done", "job": job.id, "points": job.points,
+            "cached": job.cached, "simulated": job.simulated,
+        })
+
+    async def _stream_grid(
+        self, writer, job: Job, specs: List[PointSpec], batch: int
+    ) -> None:
+        hits: List[Optional[SweepRecord]] = [None] * len(specs)
+        if self.cache is not None:
+            cache = self.cache
+            hits = await self._run_blocking(
+                lambda: [cache.get(s) for s in specs]
+            )
+        for i, rec in enumerate(hits):
+            if rec is not None:
+                job.cached += 1
+                await self._emit(writer, job, i, rec, cached=True)
+        missing = [i for i, rec in enumerate(hits) if rec is None]
+
+        async def run_chunk(chunk: List[int]):
+            records = await self._run_blocking(
+                run_batch_points, [specs[i] for i in chunk]
+            )
+            return chunk, records
+
+        tasks = [
+            asyncio.ensure_future(run_chunk(chunk))
+            for chunk in _pack(specs, missing, batch)
+        ]
+        try:
+            for fut in asyncio.as_completed(tasks):
+                chunk, records = await fut
+                for i, rec in zip(chunk, records):
+                    if self.cache is not None:
+                        await self._run_blocking(self.cache.put, specs[i], rec)
+                    job.simulated += 1
+                    await self._emit(writer, job, i, rec, cached=False)
+        finally:
+            for t in tasks:
+                if not t.done():
+                    t.cancel()
+
+    async def _emit(self, writer, job: Job, index: int, rec, cached: bool) -> None:
+        job.streamed += 1
+        await self._send(writer, {
+            "event": "record", "job": job.id, "index": index,
+            "cached": cached, "record": record_to_wire(rec),
+        })
+
+    def _run_blocking(self, fn, *args):
+        return self._loop.run_in_executor(
+            self._pool.executor, lambda: fn(*args)
+        )
+
+
+def _pack(
+    specs: Sequence[PointSpec], missing: Sequence[int], batch: int
+) -> List[List[int]]:
+    """Chunk the missing cell indices into worker tasks with
+    :func:`run_sweep`'s grouping: batchable cells sharing a (topology,
+    cycle cap) pack together up to ``batch`` wide, everything else runs
+    alone-in-order, so records match the one-shot harness exactly."""
+    groups: Dict[object, List[int]] = {}
+    for i in missing:
+        s = specs[i]
+        key = (s.topology, s.max_cycles) if _spec_batchable(s) else None
+        groups.setdefault(key, []).append(i)
+    return [
+        members[j:j + batch]
+        for members in groups.values()
+        for j in range(0, len(members), batch)
+    ]

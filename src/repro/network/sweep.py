@@ -55,7 +55,7 @@ from __future__ import annotations
 import csv
 import json
 import multiprocessing
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, fields, replace
 from functools import lru_cache
 from statistics import fmean, pstdev
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -80,8 +80,10 @@ __all__ = [
     "PointSpec",
     "ROUTERS",
     "SweepRecord",
+    "expand_grid",
     "flow_tag",
     "nearest_rank_p95",
+    "normalize_spec",
     "parse_topology",
     "run_batch_points",
     "run_point",
@@ -352,6 +354,27 @@ def run_point(spec: PointSpec) -> SweepRecord:
     return _condense(spec, topo, plan, result, rounds, round_bound)
 
 
+def normalize_spec(spec: PointSpec) -> PointSpec:
+    """Collapse a spec onto its canonical form: the one whose axes all
+    matter.
+
+    Store-and-forward points ignore the flow-control axes
+    (``num_vcs``/``buffer_depth``/``flits`` are pinned to ``1``/``0``/
+    ``"1"``); collective points ignore the open-loop ``pattern``/``load``
+    axes (pinned to ``"-"``/``1.0``).  Two specs with the same canonical
+    form produce bit-identical records, so this is both how
+    :func:`expand_grid` dedupes the grid and how the service cache's
+    ``point_key`` decides two points are the same simulation.
+    """
+    if spec.collective and (spec.pattern != "-" or spec.load != 1.0):
+        spec = replace(spec, pattern="-", load=1.0)
+    if spec.switching == "sf" and (
+        spec.num_vcs != 1 or spec.buffer_depth != 0 or spec.flits != "1"
+    ):
+        spec = replace(spec, num_vcs=1, buffer_depth=0, flits="1")
+    return spec
+
+
 def _spec_batchable(spec: PointSpec) -> bool:
     """Points the lock-step batch engine advances natively: every
     open-loop pattern point, switching mode regardless (the fused kernel
@@ -418,7 +441,7 @@ def run_batch_points(specs: Sequence[PointSpec]) -> List[SweepRecord]:
     return records  # type: ignore[return-value]
 
 
-def run_sweep(
+def expand_grid(
     topologies: Sequence[str],
     patterns: Sequence[str] = ("uniform",),
     loads: Sequence[float] = (0.1, 0.2, 0.4, 0.6, 0.8),
@@ -432,33 +455,16 @@ def run_sweep(
     collectives: Sequence[str] = ("",),
     inject_window: int = 64,
     max_cycles: int = 100000,
-    processes: int = 1,
-    batch: int = 1,
-) -> List[SweepRecord]:
-    """Run the (topology x router x pattern x faults x switching x vcs x
-    buffers x flits x collective x load x seed) grid.
+) -> List[PointSpec]:
+    """Expand and validate a sweep grid into its ordered, deduped
+    :class:`PointSpec` list.
 
-    ``faults`` is a sequence of fault-plan spec strings (``""`` = the
-    unfaulted baseline), so one call produces degradation curves.
-    ``switching``/``vcs``/``buffers``/``flits`` sweep the flow-control
-    configuration; ``"sf"`` points ignore the latter three axes (their
-    specs are normalised, so a mixed grid never re-runs the same
-    store-and-forward point).  ``collectives`` adds closed-loop
-    collective points (``""`` = the plain pattern grid); a collective
-    point's pattern/load axes are normalised away, so one collective
-    entry contributes exactly one point per (topology, router, faults,
-    flow, seed) cell.  ``batch > 1`` packs up to that many compatible
-    points (open-loop pattern points sharing topology and cycle cap,
-    any mix of switching modes)
-    into each lock-step :class:`~repro.network.batch.BatchedSimulator`
-    run -- records stay bit-identical, only the ``batch`` column and the
-    wall-clock change.  ``processes > 1`` distributes the work over a
-    multiprocessing pool (whole batches when batching); specs are
-    validated eagerly (unknown names, impossible fault plans and bad
-    flit specs raise before any worker starts).
+    This is the single grid semantics shared by :func:`run_sweep` and
+    the sweep service: every axis value is validated eagerly (unknown
+    names, impossible fault plans and bad flit specs raise before any
+    point runs), each grid cell is normalised via :func:`normalize_spec`
+    and duplicates collapse while preserving first-seen grid order.
     """
-    if batch < 1:
-        raise ValueError(f"batch must be at least 1, got {batch}")
     for p in patterns:
         if p not in PATTERNS:
             raise ValueError(f"unknown traffic pattern {p!r}; choose from {sorted(PATTERNS)}")
@@ -486,19 +492,13 @@ def run_sweep(
         for f in faults:
             if f:
                 FaultPlan.parse(f, num_nodes=topo.num_nodes).validate(topo)
-    specs = list(dict.fromkeys(
-        PointSpec(
-            topology=t, router=r,
-            pattern=p if not c else "-",
-            load=ld if not c else 1.0,
-            seed=s, faults=f,
-            switching=sw,
-            num_vcs=v if sw != "sf" else 1,
-            buffer_depth=b if sw != "sf" else 0,
-            flits=fl if sw != "sf" else "1",
+    return list(dict.fromkeys(
+        normalize_spec(PointSpec(
+            topology=t, router=r, pattern=p, load=ld, seed=s, faults=f,
+            switching=sw, num_vcs=v, buffer_depth=b, flits=fl,
             collective=c,
             inject_window=inject_window, max_cycles=max_cycles,
-        )
+        ))
         for t in topologies
         for r in routers
         for p in patterns
@@ -511,6 +511,14 @@ def run_sweep(
         for ld in loads
         for s in seeds
     ))
+
+
+def _execute(
+    specs: Sequence[PointSpec], processes: int = 1, batch: int = 1
+) -> List[SweepRecord]:
+    """Run already-validated specs, preserving order: the execution half
+    of :func:`run_sweep` (also what the sweep service's workers use)."""
+    specs = list(specs)
     if batch <= 1:
         if processes > 1 and len(specs) > 1:
             with multiprocessing.Pool(processes) as pool:
@@ -537,6 +545,75 @@ def run_sweep(
         for spec, rec in zip(task, recs)
     }
     return [by_spec[s] for s in specs]
+
+
+def run_sweep(
+    topologies: Sequence[str],
+    patterns: Sequence[str] = ("uniform",),
+    loads: Sequence[float] = (0.1, 0.2, 0.4, 0.6, 0.8),
+    routers: Sequence[str] = ("bfs",),
+    seeds: Sequence[int] = (0,),
+    faults: Sequence[str] = ("",),
+    switching: Sequence[str] = ("sf",),
+    vcs: Sequence[int] = (1,),
+    buffers: Sequence[int] = (4,),
+    flits: Sequence[str] = ("1",),
+    collectives: Sequence[str] = ("",),
+    inject_window: int = 64,
+    max_cycles: int = 100000,
+    processes: int = 1,
+    batch: int = 1,
+    cache=None,
+) -> List[SweepRecord]:
+    """Run the (topology x router x pattern x faults x switching x vcs x
+    buffers x flits x collective x load x seed) grid.
+
+    ``faults`` is a sequence of fault-plan spec strings (``""`` = the
+    unfaulted baseline), so one call produces degradation curves.
+    ``switching``/``vcs``/``buffers``/``flits`` sweep the flow-control
+    configuration; ``"sf"`` points ignore the latter three axes (their
+    specs are normalised, so a mixed grid never re-runs the same
+    store-and-forward point).  ``collectives`` adds closed-loop
+    collective points (``""`` = the plain pattern grid); a collective
+    point's pattern/load axes are normalised away, so one collective
+    entry contributes exactly one point per (topology, router, faults,
+    flow, seed) cell.  ``batch > 1`` packs up to that many compatible
+    points (open-loop pattern points sharing topology and cycle cap,
+    any mix of switching modes)
+    into each lock-step :class:`~repro.network.batch.BatchedSimulator`
+    run -- records stay bit-identical, only the ``batch`` column and the
+    wall-clock change.  ``processes > 1`` distributes the work over a
+    multiprocessing pool (whole batches when batching); specs are
+    validated eagerly via :func:`expand_grid` (unknown names, impossible
+    fault plans and bad flit specs raise before any worker starts).
+
+    ``cache`` is an optional content-addressed result cache (anything
+    with the ``get(spec) -> SweepRecord | None`` / ``put(spec, record)``
+    protocol of :class:`repro.network.service.ResultCache`): cached grid
+    cells are never re-simulated, only the missing cells run, and fresh
+    records are stored on the way out -- so re-running a grid is
+    incremental and a fully warm grid costs no simulation at all.
+    Cached records report ``batch=1`` (the bookkeeping column describes
+    the run that produced them, not this one); every payload column is
+    bit-identical to the uncached run.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be at least 1, got {batch}")
+    specs = expand_grid(
+        topologies, patterns=patterns, loads=loads, routers=routers,
+        seeds=seeds, faults=faults, switching=switching, vcs=vcs,
+        buffers=buffers, flits=flits, collectives=collectives,
+        inject_window=inject_window, max_cycles=max_cycles,
+    )
+    if cache is None:
+        return _execute(specs, processes=processes, batch=batch)
+    found = {s: r for s in specs if (r := cache.get(s)) is not None}
+    missing = [s for s in specs if s not in found]
+    if missing:
+        for spec, rec in zip(missing, _execute(missing, processes, batch)):
+            cache.put(spec, rec)
+            found[spec] = rec
+    return [found[s] for s in specs]
 
 
 def flow_tag(rec: SweepRecord) -> str:

@@ -1,0 +1,306 @@
+"""Wire-format contract tests for the sweep service (the CI
+``service-contract`` job).
+
+The PR 5 golden fixtures under ``tests/network/golden/`` stopped being
+mere snapshots when the service shipped: they are the service's wire
+contract.  A real :class:`~repro.network.service.SweepServer` is started
+on an ephemeral port, the golden sweep grid is submitted through the
+real client over the real socket, and the CSV/JSON written from the
+*streamed* records must be byte-identical to the fixtures -- proving
+that a record survives grid expansion, the worker pool, the cache, JSON
+framing and client reassembly without a single bit of drift.  The same
+grid is then re-submitted to pin the resume contract: zero points
+simulated the second time.
+"""
+
+import asyncio
+import json
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.network.service import (
+    PROTOCOL_VERSION,
+    ResultCache,
+    ServiceError,
+    SweepClient,
+    SweepServer,
+)
+from repro.network.sweep import run_sweep, saturation_curves, write_csv, write_json
+
+GOLDEN = Path(__file__).parent / "golden"
+
+# the exact grid of the PR 5 golden fixtures (test_sweep_golden.py's
+# SMALL_SWEEP_ARGS), as expand_grid keywords
+GOLDEN_GRID = dict(
+    topologies=["Q:3"], patterns=["uniform", "hotspot"],
+    loads=[0.2, 0.4], seeds=[0, 1], inject_window=8,
+)
+
+
+@contextmanager
+def running_server(**kwargs):
+    """A live server on an ephemeral port, torn down with the test."""
+    server = SweepServer(port=0, **kwargs)
+    ready = threading.Event()
+
+    async def _main():
+        await server.start()
+        ready.set()
+        await server.serve_until_shutdown()
+
+    thread = threading.Thread(target=lambda: asyncio.run(_main()), daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30), "server failed to start"
+    try:
+        yield server
+    finally:
+        server.request_shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "server failed to shut down"
+
+
+@pytest.fixture
+def served(tmp_path):
+    with running_server(cache=ResultCache(tmp_path / "cache")) as server:
+        yield server, SweepClient(port=server.port, timeout=120)
+
+
+def test_streamed_csv_is_byte_identical_to_golden(served, tmp_path):
+    """THE wire contract: CSV written from records streamed over the
+    socket equals the golden fixture byte for byte."""
+    _, client = served
+    records = client.submit(GOLDEN_GRID)
+    out = tmp_path / "streamed.csv"
+    write_csv(records, str(out))
+    assert out.read_bytes() == (GOLDEN / "sweep_small.csv").read_bytes()
+
+
+def test_streamed_json_is_byte_identical_to_golden(served, tmp_path):
+    _, client = served
+    records = client.submit(GOLDEN_GRID)
+    out = tmp_path / "streamed.json"
+    write_json(records, str(out))
+    assert out.read_bytes() == (GOLDEN / "sweep_small.json").read_bytes()
+
+
+def test_one_shot_cli_json_matches_the_same_golden(tmp_path):
+    """The service and the one-shot CLI share one wire format: the CLI's
+    --json output is the very fixture the service is held to.
+    Regenerate after an intentional schema change with::
+
+        repro sweep --topo Q:3 --patterns uniform,hotspot \\
+            --loads 0.2,0.4 --seeds 0,1 --window 8 \\
+            --json tests/network/golden/sweep_small.json
+    """
+    out = tmp_path / "out.json"
+    assert main([
+        "sweep", "--topo", "Q:3", "--patterns", "uniform,hotspot",
+        "--loads", "0.2,0.4", "--seeds", "0,1", "--window", "8",
+        "--json", str(out),
+    ]) == 0
+    assert out.read_bytes() == (GOLDEN / "sweep_small.json").read_bytes()
+
+
+def test_resubmitted_grid_simulates_zero_points(served):
+    """The resume contract: every cell of a re-submitted grid is served
+    from the cache."""
+    _, client = served
+    events = []
+    client.submit(GOLDEN_GRID)
+    records = client.submit(GOLDEN_GRID, on_event=events.append)
+    assert records == run_sweep(**GOLDEN_GRID)
+    done = events[-1]
+    assert done["event"] == "done"
+    assert done["simulated"] == 0
+    assert done["cached"] == done["points"] == len(records)
+    assert all(e["cached"] for e in events if e["event"] == "record")
+
+
+def test_grown_grid_simulates_only_new_cells(served):
+    _, client = served
+    client.submit(GOLDEN_GRID)
+    grown = dict(GOLDEN_GRID, loads=[0.2, 0.4, 0.6])
+    events = []
+    records = client.submit(grown, on_event=events.append)
+    assert records == run_sweep(**grown)
+    done = events[-1]
+    assert done["cached"] == 8 and done["simulated"] == 4
+
+
+def test_without_cache_every_submit_simulates(tmp_path):
+    with running_server(cache=None) as server:
+        client = SweepClient(port=server.port, timeout=120)
+        client.submit(GOLDEN_GRID)
+        events = []
+        client.submit(GOLDEN_GRID, on_event=events.append)
+        done = events[-1]
+        assert done["simulated"] == done["points"] and done["cached"] == 0
+
+
+def test_batched_submit_matches_unbatched_modulo_batch_column(served):
+    from dataclasses import replace
+
+    _, client = served
+    records = client.submit(GOLDEN_GRID, batch=8)
+    assert [replace(r, batch=1) for r in records] == run_sweep(**GOLDEN_GRID)
+    assert {r.batch for r in records} == {8}
+
+
+def test_mixed_axes_grid_round_trips_the_wire(served):
+    """Fault, flow-control and collective columns all survive the wire:
+    records and derived curve keys equal the in-process harness."""
+    _, client = served
+    grid = dict(
+        topologies=["11:4"], patterns=["uniform"], loads=[0.2],
+        seeds=[0], faults=["", "n2@3"], switching=["sf", "wormhole"],
+        vcs=[2], buffers=[4], flits=["1-4"],
+        collectives=["", "broadcast"], inject_window=8,
+    )
+    records = client.submit(grid)
+    direct = run_sweep(**grid)
+    assert records == direct
+    assert sorted(saturation_curves(records)) == sorted(saturation_curves(direct))
+
+
+def test_jobs_op_reports_history(served):
+    server, client = served
+    client.submit(GOLDEN_GRID)
+    client.submit(GOLDEN_GRID)
+    jobs = client.jobs()
+    assert [j["job"] for j in jobs] == [1, 2]
+    assert all(j["state"] == "done" for j in jobs)
+    assert [j["simulated"] for j in jobs] == [8, 0]
+    assert [j["cached"] for j in jobs] == [0, 8]
+    assert all(j["topologies"] == ["Q:3"] for j in jobs)
+
+
+def test_ping_handshake(served):
+    server, client = served
+    pong = client.ping()
+    assert pong["protocol"] == PROTOCOL_VERSION
+    assert str(server.cache.root) == pong["cache"]
+
+
+def test_bad_grid_is_rejected_with_the_cli_error_text(served):
+    _, client = served
+    with pytest.raises(ServiceError, match="unknown traffic pattern"):
+        client.submit(dict(topologies=["Q:3"], patterns=["nope"]))
+    with pytest.raises(ServiceError, match="at least one topology"):
+        client.submit({})
+    with pytest.raises(ServiceError, match="unknown grid keys"):
+        client.submit(dict(topologies=["Q:3"], cycles=3))
+
+
+def test_failed_submission_leaves_the_server_serving(served):
+    _, client = served
+    with pytest.raises(ServiceError):
+        client.submit(dict(topologies=["bogus"]))
+    assert client.submit(GOLDEN_GRID) == run_sweep(**GOLDEN_GRID)
+    assert client.jobs()  # and introspection still answers
+
+
+def test_unknown_op_is_an_error(served):
+    _, client = served
+    with pytest.raises(ServiceError, match="unknown op"):
+        client._one({"op": "frobnicate"}, "never")
+
+
+def test_record_events_carry_grid_indices(served):
+    """Streaming may land out of grid order; the index field is what
+    lets the client reassemble run_sweep's exact record list."""
+    _, client = served
+    events = []
+    client.submit(GOLDEN_GRID, on_event=events.append)
+    indices = [e["index"] for e in events if e["event"] == "record"]
+    assert sorted(indices) == list(range(8))
+
+
+class TestCliFrontends:
+    """`repro serve` runs as a real subprocess; `repro submit` /
+    `repro jobs` drive it through the installed CLI entry points."""
+
+    @pytest.fixture
+    def serve_proc(self, tmp_path):
+        import os
+        import re
+        import subprocess
+        import sys
+        import time
+
+        repo = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--cache-dir", str(tmp_path / "cache")],
+            stdout=subprocess.PIPE, text=True, cwd=str(repo), env=env,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            line = proc.stdout.readline()
+            assert time.monotonic() < deadline and line, "server never announced"
+            port = int(re.search(r":(\d+) \(cache:", line).group(1))
+            yield port
+        finally:
+            try:
+                SweepClient(port=port).shutdown()
+            except OSError:
+                proc.kill()
+            proc.wait(timeout=30)
+
+    def test_submit_and_jobs_subcommands(self, serve_proc, tmp_path, capsys):
+        port = serve_proc
+        out = tmp_path / "cli.csv"
+        args = [
+            "--port", str(port), "--topo", "Q:3", "--patterns",
+            "uniform,hotspot", "--loads", "0.2,0.4", "--seeds", "0,1",
+            "--window", "8",
+        ]
+        assert main(["submit", *args, "--csv", str(out)]) == 0
+        assert out.read_bytes() == (GOLDEN / "sweep_small.csv").read_bytes()
+        assert "8 point(s), 0 from cache, 8 simulated" in capsys.readouterr().out
+
+        assert main(["submit", *args]) == 0
+        assert "8 from cache, 0 simulated" in capsys.readouterr().out
+
+        assert main(["jobs", "--port", str(port)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 3  # header + two jobs, both done
+        assert all("done" in ln for ln in lines[1:])
+
+    def test_submit_against_no_server_fails_cleanly(self, capsys):
+        # an ephemeral port nothing listens on: connection refused, exit 2
+        import socket
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            free_port = s.getsockname()[1]
+        assert main(["submit", "--port", str(free_port), "--topo", "Q:3"]) == 2
+        assert "cannot reach server" in capsys.readouterr().err
+        assert main(["jobs", "--port", str(free_port)]) == 2
+
+
+def test_wire_frames_are_newline_delimited_json(served):
+    """The raw protocol: one JSON object per line, readable without the
+    client library (the documented ``nc``-compatibility claim)."""
+    import socket
+
+    server, _ = served
+    with socket.create_connection(("127.0.0.1", server.port), timeout=30) as sock:
+        sock.sendall(b'{"op":"ping"}\n')
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+    lines = data.decode().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["event"] == "pong"

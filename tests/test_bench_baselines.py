@@ -107,6 +107,41 @@ class TestCompare:
         assert cb.main([base, bad]) == 1
         assert cb.main([base, bad, "--tolerance", "9"]) == 0
 
+    def test_failure_message_names_the_offending_files(
+        self, cb, tmp_path, capsys
+    ):
+        """CI loops the comparison over four suites; a verdict that does
+        not say WHICH fresh/baseline pair failed is useless."""
+
+        def dump(name, means):
+            doc = {"benchmarks": [
+                {"fullname": k, "stats": {"mean": v}} for k, v in means.items()
+            ]}
+            p = tmp_path / name
+            p.write_text(json.dumps(doc))
+            return str(p)
+
+        base = dump("base.json", _means(a=1.0, b=1.0))
+        bad = dump("BENCH_bad.json", _means(a=9.0, b=1.0))
+        assert cb.main([base, bad]) == 1
+        err = capsys.readouterr().err
+        assert "BENCH_bad.json" in err and "base.json" in err
+        assert cb.main([base, base]) == 0
+        assert "base.json" in capsys.readouterr().out
+
+    def test_unreadable_or_empty_inputs_name_the_file(self, cb, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(SystemExit, match="nope.json"):
+            cb.load_means(str(missing))
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        with pytest.raises(SystemExit, match="garbage.json"):
+            cb.load_means(str(garbage))
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"benchmarks": []}')
+        with pytest.raises(SystemExit, match="empty.json"):
+            cb.load_means(str(empty))
+
 
 class TestCheckedInBaselines:
     @pytest.mark.parametrize("name", BASELINE_FILES)
