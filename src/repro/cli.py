@@ -178,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=None,
         help="override the server's co-batch size for this job",
     )
+    p_sub.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="connect/handshake timeout; once the job is accepted the "
+             "stream waits for records indefinitely (0 = never time "
+             "out; default: %(default)s)",
+    )
     p_sub.add_argument("--csv", metavar="PATH", help="write records as CSV")
     p_sub.add_argument("--json", metavar="PATH", help="write records as JSON")
 
@@ -411,7 +417,9 @@ def _cmd_submit(args) -> int:
     from repro.network.service import DEFAULT_PORT, ServiceError, SweepClient
 
     client = SweepClient(
-        host=args.host, port=DEFAULT_PORT if args.port is None else args.port
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        timeout=args.timeout if args.timeout > 0 else None,
     )
     progress = {"cached": 0, "simulated": 0, "points": 0, "job": 0}
 

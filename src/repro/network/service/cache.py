@@ -63,6 +63,13 @@ CACHE_VERSION = 1
 
 _SPEC_FIELDS = tuple(f.name for f in fields(PointSpec))
 _RECORD_FIELDS = tuple(f.name for f in fields(SweepRecord))
+# field -> declared type, for validating deserialised entries (sweep.py
+# uses postponed annotations, so f.type is the type's *name*)
+_PAYLOAD_TYPES = {"str": str, "int": int, "float": float, "bool": bool}
+_RECORD_TYPES = {
+    f.name: _PAYLOAD_TYPES[f.type] if isinstance(f.type, str) else f.type
+    for f in fields(SweepRecord)
+}
 
 
 def canonical_encoding(spec: PointSpec) -> bytes:
@@ -102,11 +109,21 @@ def record_to_payload(record: SweepRecord) -> dict:
 
 
 def record_from_payload(payload: dict) -> SweepRecord:
-    """Rebuild a record, strictly: the key set must match the schema
-    exactly, so an entry written under a different SweepRecord layout
-    reads as corrupt instead of mis-filling columns."""
+    """Rebuild a record, strictly: the key set *and every value's type*
+    must match the schema exactly, so an entry written under a different
+    SweepRecord layout -- or bit-rotted into the right shape with wrong
+    values (a string where a float belongs) -- reads as corrupt instead
+    of being served as a hit."""
     if not isinstance(payload, dict) or set(payload) != set(_RECORD_FIELDS):
         raise ValueError("record payload does not match the SweepRecord schema")
+    for name, want in _RECORD_TYPES.items():
+        # exact type, not isinstance: bool must not pass for int, nor
+        # int for float (an int-valued latency would break the CSV
+        # bit-identity contract)
+        if type(payload[name]) is not want:
+            raise ValueError(
+                f"record field {name!r} is not a {want.__name__}"
+            )
     return SweepRecord(**payload)
 
 

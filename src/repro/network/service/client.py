@@ -31,7 +31,14 @@ class ServiceError(RuntimeError):
 
 
 class SweepClient:
-    """Thin blocking wrapper over the wire protocol."""
+    """Thin blocking wrapper over the wire protocol.
+
+    ``timeout`` bounds the connect and each pre-acceptance socket read
+    (``None`` = wait forever).  Once a submitted job is *accepted* the
+    per-read timeout is lifted: records land whenever their grid cells
+    finish simulating, and a single slow cell must not abort an
+    otherwise healthy stream.
+    """
 
     def __init__(
         self,
@@ -43,8 +50,9 @@ class SweepClient:
         self.port = port
         self.timeout = timeout
 
-    def _request(self, msg: Dict[str, Any]):
-        """Send one request, yield response events until EOF."""
+    def _request(self, msg: Dict[str, Any], untimed_after: Optional[str] = None):
+        """Send one request, yield response events until EOF; after an
+        ``untimed_after`` event the socket reads stop timing out."""
         with socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         ) as sock:
@@ -52,7 +60,13 @@ class SweepClient:
                 wire.write(encode_message(msg))
                 wire.flush()
                 for line in wire:
-                    yield decode_line(line)
+                    reply = decode_line(line)
+                    if untimed_after is not None and (
+                        reply.get("event") == untimed_after
+                    ):
+                        sock.settimeout(None)
+                        untimed_after = None
+                    yield reply
 
     def _one(self, msg: Dict[str, Any], event: str) -> Dict[str, Any]:
         for reply in self._request(msg):
@@ -81,7 +95,7 @@ class SweepClient:
             msg["batch"] = batch
         records: Dict[int, SweepRecord] = {}
         done: Optional[Dict[str, Any]] = None
-        for reply in self._request(msg):
+        for reply in self._request(msg, untimed_after="accepted"):
             if on_event is not None:
                 on_event(reply)
             kind = reply.get("event")

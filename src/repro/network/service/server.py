@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import multiprocessing
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.network.service.cache import ResultCache
@@ -82,6 +84,12 @@ class _PoolConfig:
     workers: Optional[int] = None
     use_processes: bool = False
     executor: Optional[Executor] = None
+    # grid expansion and cache I/O always run here: threads, because the
+    # work is I/O-bound/cheap, the callables are closures and bound
+    # methods a process pool could not pickle, and cache.put must mutate
+    # the server-side hit/store counters.  Same object as ``executor``
+    # when that is already a thread pool.
+    io_executor: Optional[Executor] = None
     active: set = field(default_factory=set)
 
 
@@ -129,8 +137,26 @@ class SweepServer:
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
         if self._pool.executor is None:
-            cls = ProcessPoolExecutor if self._pool.use_processes else ThreadPoolExecutor
-            self._pool.executor = cls(max_workers=self._pool.workers)
+            if self._pool.use_processes:
+                # the server always holds live threads (the event loop,
+                # the io executor) when workers launch, so a fork-start
+                # pool inherits locks mid-state and can deadlock before
+                # the first task is ever delivered; spawn gives every
+                # worker a clean interpreter
+                self._pool.executor = ProcessPoolExecutor(
+                    max_workers=self._pool.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            else:
+                self._pool.executor = ThreadPoolExecutor(
+                    max_workers=self._pool.workers
+                )
+        if self._pool.io_executor is None:
+            self._pool.io_executor = (
+                self._pool.executor
+                if isinstance(self._pool.executor, ThreadPoolExecutor)
+                else ThreadPoolExecutor(thread_name_prefix="service-io")
+            )
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port, limit=_MAX_REQUEST_BYTES
         )
@@ -148,6 +174,8 @@ class SweepServer:
         if self._pool.active:
             await asyncio.gather(*self._pool.active, return_exceptions=True)
         self._pool.executor.shutdown(wait=True)
+        if self._pool.io_executor is not self._pool.executor:
+            self._pool.io_executor.shutdown(wait=True)
 
     def request_shutdown(self) -> None:
         """Thread-safe shutdown trigger (what ``repro serve`` wires to
@@ -161,7 +189,17 @@ class SweepServer:
         task = asyncio.current_task()
         self._pool.active.add(task)
         try:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # the request line overran _MAX_REQUEST_BYTES: reply
+                # instead of dropping the connection with a traceback
+                await self._send(writer, {
+                    "event": "error",
+                    "message": "request line exceeds the "
+                               f"{_MAX_REQUEST_BYTES} byte frame limit",
+                })
+                return
             if not line:
                 return
             try:
@@ -212,10 +250,15 @@ class SweepServer:
             if batch < 1:
                 raise ValueError(f"batch must be at least 1, got {batch}")
             # grid expansion builds topologies to validate fault plans;
-            # run it in the pool so a huge grid cannot stall the loop
-            specs = await self._run_blocking(lambda: expand_grid(**grid))
+            # run it off-loop so a huge grid cannot stall the server
+            specs = await self._run_io(lambda: expand_grid(**grid))
         except (TypeError, ValueError) as exc:
             await self._send(writer, {"event": "error", "message": str(exc)})
+            return
+        except Exception as exc:  # executor breakage: report, keep serving
+            await self._send(writer, {
+                "event": "error", "message": f"{type(exc).__name__}: {exc}",
+            })
             return
         job = Job(
             id=next(self._job_ids),
@@ -251,7 +294,7 @@ class SweepServer:
         hits: List[Optional[SweepRecord]] = [None] * len(specs)
         if self.cache is not None:
             cache = self.cache
-            hits = await self._run_blocking(
+            hits = await self._run_io(
                 lambda: [cache.get(s) for s in specs]
             )
         for i, rec in enumerate(hits):
@@ -261,7 +304,7 @@ class SweepServer:
         missing = [i for i, rec in enumerate(hits) if rec is None]
 
         async def run_chunk(chunk: List[int]):
-            records = await self._run_blocking(
+            records = await self._run_sim(
                 run_batch_points, [specs[i] for i in chunk]
             )
             return chunk, records
@@ -275,13 +318,18 @@ class SweepServer:
                 chunk, records = await fut
                 for i, rec in zip(chunk, records):
                     if self.cache is not None:
-                        await self._run_blocking(self.cache.put, specs[i], rec)
+                        await self._run_io(self.cache.put, specs[i], rec)
                     job.simulated += 1
                     await self._emit(writer, job, i, rec, cached=False)
         finally:
             for t in tasks:
                 if not t.done():
                     t.cancel()
+            # reap the cancellations: otherwise the tasks surface
+            # "exception was never retrieved" warnings after a client
+            # disconnect mid-stream
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
 
     async def _emit(self, writer, job: Job, index: int, rec, cached: bool) -> None:
         job.streamed += 1
@@ -290,9 +338,20 @@ class SweepServer:
             "cached": cached, "record": record_to_wire(rec),
         })
 
-    def _run_blocking(self, fn, *args):
+    def _run_sim(self, fn, *args):
+        """Simulation work on the worker pool.  ``functools.partial``
+        over a module-level function, never a closure: the callable must
+        pickle when the pool is a :class:`ProcessPoolExecutor`."""
         return self._loop.run_in_executor(
-            self._pool.executor, lambda: fn(*args)
+            self._pool.executor, partial(fn, *args)
+        )
+
+    def _run_io(self, fn, *args):
+        """Everything else (grid expansion, cache reads/writes) on the
+        thread-side executor, where closures and bound methods are fine
+        and cache counters mutate in-process."""
+        return self._loop.run_in_executor(
+            self._pool.io_executor, partial(fn, *args)
         )
 
 

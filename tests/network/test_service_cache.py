@@ -198,6 +198,31 @@ class TestResultCacheStore:
         path.write_text(json.dumps(doc))
         assert cache.get(spec) is None
 
+    @pytest.mark.parametrize("field_name, bad_value", [
+        ("avg_latency", "3.5"),   # string where a float belongs
+        ("avg_latency", 3),       # int where a float belongs (CSV drift)
+        ("delivered", 7.0),       # float where an int belongs
+        ("delivered", True),      # bool must not pass for int
+        ("deadlocked", 0),        # int must not pass for bool
+        ("topology", None),
+    ])
+    def test_type_corrupt_entry_is_a_miss(self, tmp_path, field_name, bad_value):
+        """A schema-shaped entry with a wrong-typed value (bit rot, a
+        hand-edited file) must read as corrupt, not as a hit."""
+        cache = ResultCache(tmp_path)
+        spec = PointSpec(topology="Q:3", inject_window=8)
+        [record] = run_sweep(["Q:3"], patterns=("uniform",), loads=(0.2,),
+                             inject_window=8)
+        cache.put(spec, record)
+        path = cache.path_for(spec)
+        doc = json.loads(path.read_text())
+        doc["record"][field_name] = bad_value
+        path.write_text(json.dumps(doc))
+        assert cache.get(spec) is None
+        assert not path.exists()
+        cache.put(spec, record)
+        assert cache.get(spec) == record
+
     def test_misfiled_entry_is_a_miss(self, tmp_path):
         """An entry whose stored key does not match its address (renamed
         or copied file) is rejected."""

@@ -131,6 +131,23 @@ def test_grown_grid_simulates_only_new_cells(served):
     assert done["cached"] == 8 and done["simulated"] == 4
 
 
+def test_process_pool_server_streams_the_same_records(tmp_path):
+    """`repro serve --processes`: the simulation callables must pickle
+    into the process pool, while cache reads/writes stay in-process so
+    the hit/store counters and resume semantics survive."""
+    cache = ResultCache(tmp_path / "cache")
+    with running_server(cache=cache, use_processes=True, workers=2) as server:
+        client = SweepClient(port=server.port, timeout=120)
+        records = client.submit(GOLDEN_GRID)
+        assert records == run_sweep(**GOLDEN_GRID)
+        assert cache.stores == len(records)
+        events = []
+        client.submit(GOLDEN_GRID, on_event=events.append)
+        done = events[-1]
+        assert done["simulated"] == 0
+        assert done["cached"] == done["points"] == len(records)
+
+
 def test_without_cache_every_submit_simulates(tmp_path):
     with running_server(cache=None) as server:
         client = SweepClient(port=server.port, timeout=120)
@@ -285,6 +302,30 @@ class TestCliFrontends:
         assert main(["submit", "--port", str(free_port), "--topo", "Q:3"]) == 2
         assert "cannot reach server" in capsys.readouterr().err
         assert main(["jobs", "--port", str(free_port)]) == 2
+
+
+def test_oversized_request_line_is_an_error_event(monkeypatch):
+    """A request line overrunning the frame limit gets an error reply
+    and a clean close, not a dropped connection."""
+    import socket
+
+    from repro.network.service import server as server_mod
+
+    monkeypatch.setattr(server_mod, "_MAX_REQUEST_BYTES", 1024)
+    with running_server(cache=None) as server:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=30
+        ) as sock:
+            sock.sendall(b"x" * 4096 + b"\n")
+            data = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+    msg = json.loads(data.decode().splitlines()[0])
+    assert msg["event"] == "error"
+    assert "frame limit" in msg["message"]
 
 
 def test_wire_frames_are_newline_delimited_json(served):
