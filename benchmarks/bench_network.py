@@ -191,3 +191,63 @@ def test_bench_n1_vectorized_speedup(benchmark):
         ],
     )
     assert speedup >= 10.0, f"vectorized engine only {speedup:.1f}x faster"
+
+
+def test_bench_n1_native_backend_speedup(benchmark):
+    """The compiled C sf kernel vs the NumPy engines on the advance hot
+    path itself (batch preparation excluded on both sides -- it is
+    shared code, and at sweep scale it is amortised by batching while
+    the cycle loop is not).  The backends must be bit-identical and the
+    native one at least 5x faster."""
+    import numpy as np
+
+    from repro.network.backends import native as native_mod
+    from repro.network.kernel import KernelRun, _link_arrays, run_fused
+    from repro.network.routing import BfsRouter
+    from repro.network.simulator import _as_flow, _prepare
+
+    if native_mod.load_library()[0] is None:
+        pytest.skip("no usable C toolchain for the native backend")
+
+    topo = topology_of(("11", 10))  # Gamma_10: 144 nodes
+    traffic = uniform_traffic(topo, 15000, 150, seed=42)
+    prep = _prepare(topo, BfsRouter(), list(traffic), None, None)
+    link_seq, link_offsets, link_codes = _link_arrays(
+        topo.num_nodes, prep.table
+    )
+    nhops = prep.table.lengths()[prep.row] - 1
+    flow = _as_flow("sf")
+
+    def make_run():
+        # a KernelRun is consumed by the engine; rebuild per timing
+        return KernelRun(
+            flow=flow, inject=prep.inject, nhops=nhops,
+            first_link_at=link_offsets[prep.row],
+            link_seq=link_seq, link_offsets=link_offsets,
+            link_codes=link_codes,
+            nf=np.ones(len(prep.inject), dtype=np.int64),
+            link_dead={},
+        )
+
+    def advance(backend):
+        return run_fused(topo, [make_run()], 100000, backend=backend)[0]
+
+    native_out = benchmark(lambda: advance("native"))
+    numpy_out = advance("numpy")
+    # best of three per backend: one stall must not fail the gate
+    numpy_seconds = min(_timed(lambda: advance("numpy")) for _ in range(3))
+    native_seconds = min(_timed(lambda: advance("native")) for _ in range(3))
+
+    assert numpy_out.cycles == native_out.cycles
+    assert numpy_out.max_queue == native_out.max_queue
+    assert np.array_equal(numpy_out.delivered_at, native_out.delivered_at)
+    speedup = numpy_seconds / native_seconds
+    print_table(
+        "Kernel backends on the sf advance loop (Gamma_10, 15k packets)",
+        ["backend", "seconds", "speedup"],
+        [
+            ("numpy", f"{numpy_seconds:.4f}", "1.0x"),
+            ("native", f"{native_seconds:.4f}", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= 5.0, f"native backend only {speedup:.1f}x faster"

@@ -195,6 +195,24 @@ def test_bench_sweep_warm_cache(benchmark, tmp_path):
     assert speedup >= 3.0, f"warm-cache repeat only {speedup:.1f}x faster"
 
 
+def test_bench_sweep_backend_identity(benchmark):
+    """Backend neutrality at sweep scale: the whole standard grid,
+    batched, produces bit-identical records under the NumPy and native
+    kernels (the backend is not an axis, it is an implementation)."""
+    from repro.network.backends import native as native_mod
+
+    if native_mod.load_library()[0] is None:
+        import pytest
+
+        pytest.skip("no usable C toolchain for the native backend")
+
+    via_numpy = run_sweep(batch=BATCH, backend="numpy", **SEEDED_GRID)
+    via_native = benchmark(
+        lambda: run_sweep(batch=BATCH, backend="native", **SEEDED_GRID)
+    )
+    assert via_native == via_numpy
+
+
 def test_bench_batched_grid_with_faults_matches(benchmark):
     """Batching must survive the awkward axes too: a mixed grid with a
     fault plan and multiple routers produces identical records batched

@@ -36,6 +36,10 @@ Subcommands
     ``--csv``/``--json`` output is byte-identical to ``gfc sweep``.
 ``gfc jobs``
     List the jobs a running server has seen.
+``gfc backends``
+    List the kernel backends (numpy / native), whether each is usable,
+    and what ``auto`` resolves to here and why; ``--backend`` on
+    ``sweep`` and ``serve`` pins the choice per invocation.
 
 Installed both as ``gfc`` and as ``repro``.
 """
@@ -127,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
              "without re-simulation, so repeated or grown grids are "
              "incremental (default: no cache)",
     )
+    p_swp.add_argument(
+        "--backend", choices=["auto", "numpy", "native"], default=None,
+        help="kernel backend for every simulated point (default: "
+             "$REPRO_BACKEND or auto); results are bit-identical either "
+             "way, 'native' fails loudly when no compiler exists",
+    )
     p_swp.add_argument("--csv", metavar="PATH", help="write records as CSV")
     p_swp.add_argument("--json", metavar="PATH", help="write records as JSON")
 
@@ -163,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="default co-batch size for submitted grids "
              "(default: %(default)s = every cell alone)",
     )
+    p_srv.add_argument(
+        "--backend", choices=["auto", "numpy", "native"], default=None,
+        help="kernel backend the worker pool simulates with (default: "
+             "$REPRO_BACKEND or auto)",
+    )
 
     p_sub = sub.add_parser(
         "submit",
@@ -192,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument(
         "--port", type=int, default=None,
         help="server port (default: 8642)",
+    )
+
+    sub.add_parser(
+        "backends",
+        help="list kernel backends and what 'auto' resolves to here",
     )
 
     return parser
@@ -297,6 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_submit(args)
     if args.command == "jobs":
         return _cmd_jobs(args)
+    if args.command == "backends":
+        return _cmd_backends(args)
     raise AssertionError("unreachable")
 
 
@@ -342,9 +364,13 @@ def _cmd_sweep(args) -> int:
     try:
         records = run_sweep(
             processes=args.processes, batch=args.batch, cache=cache,
-            **_grid_from_args(args),
+            backend=args.backend, **_grid_from_args(args),
         )
     except ValueError as exc:
+        print(f"sweep: error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        # an explicitly requested backend that cannot run here
         print(f"sweep: error: {exc}", file=sys.stderr)
         return 2
     _print_curves(records)
@@ -390,6 +416,14 @@ def _cmd_serve(args) -> int:
     from repro.network.service import DEFAULT_PORT, ResultCache, SweepServer
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.backend:
+        from repro.network.backends import resolve_backend
+
+        try:
+            resolve_backend(args.backend)  # fail before binding the port
+        except (RuntimeError, ValueError) as exc:
+            print(f"serve: error: {exc}", file=sys.stderr)
+            return 2
     server = SweepServer(
         host=args.host,
         port=DEFAULT_PORT if args.port is None else args.port,
@@ -397,6 +431,7 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         use_processes=args.processes,
         batch=args.batch,
+        backend=args.backend,
     )
 
     async def _serve() -> None:
@@ -477,6 +512,20 @@ def _cmd_jobs(args) -> int:
             f"{','.join(job['topologies'])}"
             + (f"  [{job['error']}]" if job.get("error") else "")
         )
+    return 0
+
+
+def _cmd_backends(args) -> int:
+    from repro.network.backends import backend_infos, resolve_backend
+
+    infos = backend_infos()
+    width = max(len(i["name"]) for i in infos)
+    for info in infos:
+        status = "available" if info["available"] else "unavailable"
+        print(f"{info['name']:>{width}}  {status:<12} {info['reason']}")
+    auto = resolve_backend("auto")
+    _, why = auto.availability()
+    print(f"{'auto':>{width}}  -> {auto.name:<9} {why}")
     return 0
 
 

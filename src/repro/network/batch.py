@@ -102,9 +102,10 @@ class BatchedSimulator:
     suite enforces bit for bit across every switching mode.
     """
 
-    def __init__(self, topo: Topology, router=None):
+    def __init__(self, topo: Topology, router=None, backend=None):
         self.topo = topo
         self.router = router if router is not None else BfsRouter()
+        self.backend = backend
 
     def run_batch(
         self,
@@ -174,7 +175,7 @@ class BatchedSimulator:
                 nf=flit_arr[prep.order],
                 link_dead=prep.link_dead,
             ))
-        outcomes = run_fused(self.topo, runs, max_cycles)
+        outcomes = run_fused(self.topo, runs, max_cycles, backend=self.backend)
         return [
             _flow_result(
                 out, prep.inject, nhops, prep.misroutes[prep.row],
@@ -283,7 +284,10 @@ def run_batch(
     items: Sequence[BatchItem],
     max_cycles: int = 100000,
     router=None,
+    backend=None,
 ) -> List[SimResult]:
-    """Module-level convenience: ``BatchedSimulator(topo, router)
-    .run_batch(items, max_cycles)``."""
-    return BatchedSimulator(topo, router).run_batch(items, max_cycles)
+    """Module-level convenience: ``BatchedSimulator(topo, router,
+    backend).run_batch(items, max_cycles)``."""
+    return BatchedSimulator(topo, router, backend=backend).run_batch(
+        items, max_cycles
+    )

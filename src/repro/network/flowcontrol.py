@@ -419,6 +419,7 @@ def vectorized_flow_run(
     nf: np.ndarray,
     link_dead: Dict[Tuple[int, int], int],
     max_cycles: int,
+    backend=None,
 ) -> FlowOutcome:
     """Array implementation of :func:`reference_flow_run`'s semantics.
 
@@ -444,4 +445,4 @@ def vectorized_flow_run(
         nf=nf,
         link_dead=link_dead,
     )
-    return run_fused(topo, [run], max_cycles)[0]
+    return run_fused(topo, [run], max_cycles, backend=backend)[0]

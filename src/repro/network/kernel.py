@@ -190,20 +190,31 @@ def _ext_channels(
 
 
 def run_fused(
-    topo: Topology, runs: Sequence[KernelRun], max_cycles: int = 100000
+    topo: Topology,
+    runs: Sequence[KernelRun],
+    max_cycles: int = 100000,
+    backend=None,
 ) -> List[FlowOutcome]:
     """Advance every run in one shared cycle loop; one outcome per run.
 
     Runs partition by discipline into at most two mode engines (the
     store-and-forward FIFO stepper and the finite-buffer flow-control
-    stepper); the kernel drives both against one clock.  The clock
-    advances by one cycle whenever any run moved, jumps to the earliest
-    pending event (an injection anywhere, or a scheduled fault of a run
-    with flits in flight) when every run is quiescent, and stops when no
-    run has work left or the cap is hit.  Idle cycles a run sits
-    through are no-ops for it by construction, so each outcome is
-    bit-identical to the run advancing alone.
+    stepper), both supplied by the selected *backend*
+    (:mod:`repro.network.backends`: a name, a backend instance, or
+    ``None`` for ``$REPRO_BACKEND`` / ``auto``); the kernel drives both
+    against one clock.  The clock advances by one cycle whenever any run
+    moved, jumps to the earliest pending event (an injection anywhere,
+    or a scheduled fault of a run with flits in flight) when every run
+    is quiescent, and stops when no run has work left or the cap is hit.
+    An engine that is alone in the batch and advertises
+    ``supports_run_alone`` takes over the whole clock loop (the native
+    backend's fast path).  Idle cycles a run sits through are no-ops for
+    it by construction, so each outcome is bit-identical to the run
+    advancing alone -- on every backend.
     """
+    from repro.network.backends import resolve_backend
+
+    be = resolve_backend(backend)
     results: List[Optional[FlowOutcome]] = [None] * len(runs)
     sf_idx: List[int] = []
     fl_idx: List[int] = []
@@ -222,25 +233,32 @@ def run_fused(
     engines: List[object] = []
     groups: List[List[int]] = []
     if sf_idx:
-        engines.append(_SfEngine(topo, [runs[i] for i in sf_idx]))
+        engines.append(be.sf_engine(topo, [runs[i] for i in sf_idx]))
         groups.append(sf_idx)
     if fl_idx:
-        engines.append(_FlowEngine(topo, [runs[i] for i in fl_idx]))
+        engines.append(be.flow_engine(topo, [runs[i] for i in fl_idx]))
         groups.append(fl_idx)
     if engines:
-        cycle = 0
-        while cycle < max_cycles:
-            moved = False
-            for eng in engines:
-                if eng.step(cycle):
-                    moved = True
-            if moved:
-                cycle += 1
-                continue
-            events = [e for eng in engines for e in eng.next_events(cycle)]
-            if not events:
-                break
-            cycle = min(min(events), max_cycles)
+        if len(engines) == 1 and getattr(
+            engines[0], "supports_run_alone", False
+        ):
+            engines[0].run_alone(max_cycles)
+        else:
+            cycle = 0
+            while cycle < max_cycles:
+                moved = False
+                for eng in engines:
+                    if eng.step(cycle):
+                        moved = True
+                if moved:
+                    cycle += 1
+                    continue
+                events = [
+                    e for eng in engines for e in eng.next_events(cycle)
+                ]
+                if not events:
+                    break
+                cycle = min(min(events), max_cycles)
         for eng, idxs in zip(engines, groups):
             for i, out in zip(idxs, eng.finalize(max_cycles)):
                 results[i] = out

@@ -104,7 +104,11 @@ class SweepServer:
     pool width (``None`` = the executor default), simulated in threads
     unless ``use_processes`` (NumPy releases the GIL for the heavy array
     work, so threads are the cheap default; processes sidestep it
-    entirely for pure-python-bound grids).
+    entirely for pure-python-bound grids).  ``backend`` selects the
+    kernel implementation every worker simulates with
+    (:mod:`repro.network.backends`) -- a backend *name* string, because
+    it must cross the pickle boundary into process-pool workers; records
+    and cache entries are bit-identical whatever the choice.
     """
 
     def __init__(
@@ -115,6 +119,7 @@ class SweepServer:
         workers: Optional[int] = None,
         use_processes: bool = False,
         batch: int = 1,
+        backend: Optional[str] = None,
     ):
         if batch < 1:
             raise ValueError(f"batch must be at least 1, got {batch}")
@@ -122,6 +127,7 @@ class SweepServer:
         self.port = port
         self.cache = cache
         self.batch = batch
+        self.backend = backend
         self.jobs: Dict[int, Job] = {}
         self._job_ids = itertools.count(1)
         self._pool = _PoolConfig(workers=workers, use_processes=use_processes)
@@ -305,7 +311,8 @@ class SweepServer:
 
         async def run_chunk(chunk: List[int]):
             records = await self._run_sim(
-                run_batch_points, [specs[i] for i in chunk]
+                partial(run_batch_points, backend=self.backend),
+                [specs[i] for i in chunk],
             )
             return chunk, records
 

@@ -42,9 +42,11 @@ Two engines implement the *same* deterministic semantics:
   with K = 1.  Per-link FIFOs are intrusive linked lists over flat
   arrays, each cycle advances every contended link with a handful of
   array gathers instead of a Python loop over packets, and idle gaps
-  between injections are skipped outright.  Both engines produce
-  bit-identical :class:`SimResult` values, which the equivalence tests
-  enforce.
+  between injections are skipped outright.  The kernel's inner loop is
+  supplied by a selectable backend (:mod:`repro.network.backends`:
+  ``numpy``, the compiled ``native`` kernel, or ``auto``).  Both
+  engines -- and every backend -- produce bit-identical
+  :class:`SimResult` values, which the equivalence tests enforce.
 
 Faults
 ------
@@ -550,11 +552,16 @@ class VectorizedSimulator:
     gaps between injections in O(1), and reproduces
     :class:`ReferenceSimulator`'s queue discipline -- injections first,
     then forwards, pid-sorted within each group -- exactly.
+
+    ``backend`` selects the kernel implementation for this simulator's
+    runs (a name or :class:`~repro.network.backends.Backend` instance;
+    ``None`` defers to ``$REPRO_BACKEND`` / ``auto``).
     """
 
-    def __init__(self, topo: Topology, router=None):
+    def __init__(self, topo: Topology, router=None, backend=None):
         self.topo = topo
         self.router = router if router is not None else BfsRouter()
+        self.backend = backend
 
     # -- route-table flattening -------------------------------------------
 
@@ -608,7 +615,7 @@ class VectorizedSimulator:
             nf=flit_arr[prep.order],
             link_dead=prep.link_dead,
         )
-        outcome = run_fused(self.topo, [run], max_cycles)[0]
+        outcome = run_fused(self.topo, [run], max_cycles, backend=self.backend)[0]
         return _flow_result(
             outcome, prep.inject, nhops, prep.misroutes[prep.row],
             prep.num_dropped,

@@ -56,7 +56,7 @@ import csv
 import json
 import multiprocessing
 from dataclasses import asdict, dataclass, fields, replace
-from functools import lru_cache
+from functools import lru_cache, partial
 from statistics import fmean, pstdev
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -313,19 +313,26 @@ def _condense(
     )
 
 
-def run_point(spec: PointSpec) -> SweepRecord:
+def run_point(spec: PointSpec, backend=None) -> SweepRecord:
     """Run one grid point: build, generate, simulate, condense.
 
     Pattern points generate ``load``-normalised open-loop traffic;
     collective points (``spec.collective`` non-empty) compile and run
     the closed-loop barriered collective instead, the seed choosing the
-    root.
+    root.  ``backend`` selects the kernel implementation
+    (:mod:`repro.network.backends`); it is deliberately *not* part of
+    the spec -- records are bit-identical across backends, so the point
+    and its cache key describe the simulation, not the machinery.
     """
     topo = parse_topology(spec.topology)
     router = _resolve_router(spec.router)()
     plan = _point_plan(spec, topo)
     pipelined = spec.switching != "sf"
     flow = _point_flow(spec)
+    engine = (
+        VectorizedSimulator if backend is None
+        else partial(VectorizedSimulator, backend=backend)
+    )
     rounds = round_bound = 0
     if spec.collective:
         if spec.collective not in COLLECTIVES:
@@ -335,7 +342,7 @@ def run_point(spec: PointSpec) -> SweepRecord:
             )
         coll = run_collective(
             topo, spec.collective, root=spec.seed % topo.num_nodes,
-            router=router, engine=VectorizedSimulator, switching=flow,
+            router=router, engine=engine, switching=flow,
             flits=spec.flits if pipelined else 1, flit_seed=spec.seed,
             faults=plan, max_cycles=spec.max_cycles,
         )
@@ -347,7 +354,7 @@ def run_point(spec: PointSpec) -> SweepRecord:
             sizes: "int | list" = flit_sizes(len(traffic), spec.flits, seed=spec.seed)
         else:
             sizes = 1
-        result = VectorizedSimulator(topo, router).run(
+        result = engine(topo, router).run(
             traffic, max_cycles=spec.max_cycles, faults=plan,
             switching=flow, flits=sizes,
         )
@@ -384,7 +391,9 @@ def _spec_batchable(spec: PointSpec) -> bool:
     return not spec.collective
 
 
-def run_batch_points(specs: Sequence[PointSpec]) -> List[SweepRecord]:
+def run_batch_points(
+    specs: Sequence[PointSpec], backend=None
+) -> List[SweepRecord]:
     """Run a group of grid points, co-batching the compatible ones.
 
     Batchable points (see :func:`_spec_batchable`) sharing a topology
@@ -407,7 +416,7 @@ def run_batch_points(specs: Sequence[PointSpec]) -> List[SweepRecord]:
         if _spec_batchable(spec):
             groups.setdefault((spec.topology, spec.max_cycles), []).append(i)
         else:
-            records[i] = run_point(spec)
+            records[i] = run_point(spec, backend=backend)
     for (tspec, max_cycles), members in groups.items():
         topo = parse_topology(tspec)
         routers: Dict[str, object] = {}
@@ -433,7 +442,9 @@ def run_batch_points(specs: Sequence[PointSpec]) -> List[SweepRecord]:
                 switching=_point_flow(spec), flits=sizes,
             ))
             plans.append(plan)
-        outcomes = BatchedSimulator(topo).run_batch(items, max_cycles=max_cycles)
+        outcomes = BatchedSimulator(topo, backend=backend).run_batch(
+            items, max_cycles=max_cycles
+        )
         for i, plan, result in zip(members, plans, outcomes):
             records[i] = _condense(
                 specs[i], topo, plan, result, batch=len(members)
@@ -514,16 +525,24 @@ def expand_grid(
 
 
 def _execute(
-    specs: Sequence[PointSpec], processes: int = 1, batch: int = 1
+    specs: Sequence[PointSpec],
+    processes: int = 1,
+    batch: int = 1,
+    backend=None,
 ) -> List[SweepRecord]:
     """Run already-validated specs, preserving order: the execution half
-    of :func:`run_sweep` (also what the sweep service's workers use)."""
+    of :func:`run_sweep` (also what the sweep service's workers use).
+
+    ``backend`` crosses process boundaries, so with ``processes > 1`` it
+    must be a backend *name* (or ``None``) -- backend objects hold
+    unpicklable state (a loaded shared library).
+    """
     specs = list(specs)
     if batch <= 1:
         if processes > 1 and len(specs) > 1:
             with multiprocessing.Pool(processes) as pool:
-                return pool.map(run_point, specs)
-        return [run_point(s) for s in specs]
+                return pool.map(partial(run_point, backend=backend), specs)
+        return [run_point(s, backend=backend) for s in specs]
     # pack compatible specs into batch tasks; the pool (when used)
     # distributes whole batches, and records reassemble in grid order
     groups: Dict[object, List[PointSpec]] = {}
@@ -537,9 +556,9 @@ def _execute(
     ]
     if processes > 1 and len(tasks) > 1:
         with multiprocessing.Pool(processes) as pool:
-            outs = pool.map(run_batch_points, tasks)
+            outs = pool.map(partial(run_batch_points, backend=backend), tasks)
     else:
-        outs = [run_batch_points(task) for task in tasks]
+        outs = [run_batch_points(task, backend=backend) for task in tasks]
     by_spec = {
         spec: rec for task, recs in zip(tasks, outs)
         for spec, rec in zip(task, recs)
@@ -564,6 +583,7 @@ def run_sweep(
     processes: int = 1,
     batch: int = 1,
     cache=None,
+    backend=None,
 ) -> List[SweepRecord]:
     """Run the (topology x router x pattern x faults x switching x vcs x
     buffers x flits x collective x load x seed) grid.
@@ -596,6 +616,12 @@ def run_sweep(
     Cached records report ``batch=1`` (the bookkeeping column describes
     the run that produced them, not this one); every payload column is
     bit-identical to the uncached run.
+
+    ``backend`` picks the kernel implementation
+    (:mod:`repro.network.backends`; a name string when ``processes >
+    1``).  Backends are bit-identical, so it never enters the grid, the
+    records, or the cache keys: a cache warmed under one backend is
+    fully warm under every other.
     """
     if batch < 1:
         raise ValueError(f"batch must be at least 1, got {batch}")
@@ -606,11 +632,12 @@ def run_sweep(
         inject_window=inject_window, max_cycles=max_cycles,
     )
     if cache is None:
-        return _execute(specs, processes=processes, batch=batch)
+        return _execute(specs, processes=processes, batch=batch, backend=backend)
     found = {s: r for s in specs if (r := cache.get(s)) is not None}
     missing = [s for s in specs if s not in found]
     if missing:
-        for spec, rec in zip(missing, _execute(missing, processes, batch)):
+        runs = _execute(missing, processes, batch, backend=backend)
+        for spec, rec in zip(missing, runs):
             cache.put(spec, rec)
             found[spec] = rec
     return [found[s] for s in specs]

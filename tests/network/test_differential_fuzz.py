@@ -5,7 +5,9 @@ generalises it: seeded random sampling over the whole configuration
 space -- topology x router x traffic pattern (collectives included) x
 switching mode x VC/buffer/flit shape x fault plan x cycle cap -- and
 asserts the reference and vectorized engines produce bit-identical
-``SimResult``s on every sampled case.  A companion pass fuzzes the
+``SimResult``s on every sampled case.  A backend pass replays the same
+sampled space through the NumPy and native kernel backends (skipped
+where no C toolchain exists).  A companion pass fuzzes the
 closed-loop collective compiler the same way, and a batch pass stacks a
 random K of mixed replications (seeds, loads, patterns, routers, fault
 plans, switching modes -- sf, wormhole and vct all batch natively
@@ -29,6 +31,7 @@ import random
 
 import pytest
 
+from repro.network.backends import native as _native
 from repro.network.batch import BatchedSimulator, BatchItem
 from repro.network.collectives import COLLECTIVES, run_collective
 from repro.network.faults import FaultPlan
@@ -130,6 +133,47 @@ def run_engine_case(seed: int) -> "str | None":
     vec = VectorizedSimulator(topo, router).run(traffic, **kwargs)
     if ref != vec:
         return _describe(seed, cfg, "engine")
+    return None
+
+
+def run_native_case(seed: int) -> "str | None":
+    """One case through the NumPy and native kernels, bit equality.
+
+    The engine pass above already pins vectorized == reference; this
+    pass pins backend == backend on the same sampled space, so a native
+    divergence is reported against the cheap oracle it actually
+    diverged from."""
+    cfg = sample_case(seed)
+    topo = parse_topology(cfg["topology"])
+    router = ROUTERS[cfg["router"]]()
+    plan = (
+        FaultPlan.parse(cfg["faults"], num_nodes=topo.num_nodes)
+        if cfg["faults"] else None
+    )
+    traffic = make_traffic(
+        cfg["pattern"], topo, cfg["packets"], cfg["window"],
+        seed=cfg["traffic_seed"], faults=plan,
+    )
+    if cfg["switching"] == "sf":
+        flow, sizes = "sf", 1
+    else:
+        flow = FlowControl(
+            switching=cfg["switching"],
+            buffer_depth=cfg["buffer_depth"],
+            num_vcs=cfg["num_vcs"],
+        )
+        sizes = flit_sizes(len(traffic), cfg["flits"], seed=cfg["flit_seed"])
+    kwargs = dict(
+        max_cycles=cfg["max_cycles"], faults=plan, switching=flow, flits=sizes
+    )
+    ref = VectorizedSimulator(topo, router, backend="numpy").run(
+        traffic, **kwargs
+    )
+    nat = VectorizedSimulator(topo, router, backend="native").run(
+        traffic, **kwargs
+    )
+    if ref != nat:
+        return _describe(seed, cfg, "native")
     return None
 
 
@@ -281,6 +325,25 @@ def test_differential_fuzz_engines():
             line
             for line in (
                 run_engine_case(BASE_SEED + i) for i in range(CASES)
+            )
+            if line
+        ]
+    )
+
+
+@pytest.mark.heavy
+@pytest.mark.skipif(
+    _native.load_library()[0] is None,
+    reason="no usable C toolchain for the native backend",
+)
+def test_differential_fuzz_native_backend():
+    """The same sampled space through both kernel backends: the C sf
+    loop must be bit-identical to the NumPy engines on every case."""
+    _report(
+        [
+            line
+            for line in (
+                run_native_case(BASE_SEED + i) for i in range(CASES)
             )
             if line
         ]
