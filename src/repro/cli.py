@@ -26,7 +26,18 @@ Subcommands
     co-batches compatible points into lock-step simulator runs
     (bit-identical records, several times the throughput), and
     ``--cache-dir`` consults/fills the content-addressed result cache so
-    repeated grid cells are never re-simulated.
+    repeated grid cells are never re-simulated; ``--workload`` adds
+    multi-tenant overlay points (tenant spec grammar of
+    :mod:`repro.network.workloads`) and ``--trace`` replays recorded
+    NDJSON traces as workload points.
+``gfc trace``
+    Record a multi-tenant workload's arbitrated schedule as a versioned
+    NDJSON trace (``trace record``), or inspect one (``trace info``).
+``gfc insights``
+    Run the rule-driven insight engine over a sweep's CSV/JSON records:
+    saturation knees, deadlock and fault-degradation alerts, tenant
+    starvation, and the hypercube-vs-Fibonacci verdict, as text or a
+    stable JSON report.
 ``gfc serve``
     Long-lived sweep job server (asyncio + worker pool) over the same
     cache: clients submit grids, cached cells answer instantly, missing
@@ -137,8 +148,70 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_BACKEND or auto); results are bit-identical either "
              "way, 'native' fails loudly when no compiler exists",
     )
+    p_swp.add_argument(
+        "--trace", action="append", dest="traces", metavar="PATH",
+        help="replay a recorded NDJSON trace (see 'trace record') as a "
+             "workload point; repeatable; the trace's own topology is "
+             "added to the grid when no --topo is given",
+    )
     p_swp.add_argument("--csv", metavar="PATH", help="write records as CSV")
     p_swp.add_argument("--json", metavar="PATH", help="write records as JSON")
+
+    p_trc = sub.add_parser(
+        "trace",
+        help="record / inspect multi-tenant workload traces "
+             "(versioned NDJSON)",
+    )
+    trc_sub = p_trc.add_subparsers(dest="trace_command", required=True)
+    p_rec = trc_sub.add_parser(
+        "record",
+        help="compile a workload's arbitrated schedule and write it as "
+             "an NDJSON trace",
+    )
+    p_rec.add_argument(
+        "--topo", required=True, metavar="SPEC",
+        help="topology spec 'Q:<d>' or '<factor>:<d>'",
+    )
+    p_rec.add_argument(
+        "--workload", required=True, metavar="SPEC",
+        help="tenant spec 'name:pattern:load[:prio];...[;rate=N]', e.g. "
+             "'bg:uniform:0.2;fg:broadcast:0.4:2'",
+    )
+    p_rec.add_argument(
+        "--window", type=int, default=64,
+        help="injection window in cycles (default: %(default)s)",
+    )
+    p_rec.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for every tenant's traffic (default: %(default)s)",
+    )
+    p_rec.add_argument(
+        "--scale", type=float, default=1.0,
+        help="load-scale multiplier applied to every tenant "
+             "(default: %(default)s)",
+    )
+    p_rec.add_argument(
+        "--out", required=True, metavar="PATH", help="trace file to write"
+    )
+    p_inf = trc_sub.add_parser("info", help="summarise a trace file")
+    p_inf.add_argument("path", metavar="TRACE")
+
+    p_ins = sub.add_parser(
+        "insights",
+        help="rule-driven insight report over sweep records (CSV or JSON)",
+    )
+    p_ins.add_argument(
+        "path", metavar="RECORDS",
+        help="a 'sweep --csv' or 'sweep --json' output file",
+    )
+    p_ins.add_argument(
+        "--json", action="store_true",
+        help="print the stable JSON report instead of text",
+    )
+    p_ins.add_argument(
+        "--out", metavar="PATH",
+        help="also write the JSON report to PATH",
+    )
 
     p_srv = sub.add_parser(
         "serve",
@@ -271,6 +344,15 @@ def _add_grid_args(p_swp) -> None:
              "flits per packet (wormhole/vct only; default: %(default)s)",
     )
     p_swp.add_argument(
+        "--workload", action="append", dest="workloads", metavar="SPEC",
+        help="multi-tenant overlay workload "
+             "'name:pattern:load[:prio];...[;rate=N]', e.g. "
+             "'bg:uniform:0.2;fg:broadcast:0.4:2;rate=1'; repeatable; "
+             "the --loads axis scales every tenant's load, and rate=N "
+             "caps injection at N packet(s)/node/cycle with "
+             "priority-then-name arbitration (0 = no cap)",
+    )
+    p_swp.add_argument(
         "--collective", action="append", dest="collectives", metavar="NAME",
         help="closed-loop collective workload: broadcast, reduce, "
              "allgather, alltoall or ring; repeatable; compiled with "
@@ -311,6 +393,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_wiener(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "insights":
+        return _cmd_insights(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":
@@ -337,6 +423,7 @@ def _grid_from_args(args) -> dict:
         buffers=[int(b) for b in args.buffer.split(",") if b],
         flits=[f for f in args.flits.split(",") if f],
         collectives=args.collectives if args.collectives else [""],
+        workloads=args.workloads if args.workloads else [""],
         inject_window=args.window,
         max_cycles=args.max_cycles,
     )
@@ -356,6 +443,33 @@ def _write_outputs(records, args) -> None:
 def _cmd_sweep(args) -> int:
     from repro.network.sweep import run_sweep
 
+    grid = _grid_from_args(args)
+    traces = None
+    if args.traces:
+        from repro.network.workloads import read_trace, trace_key
+
+        traces = {}
+        trace_topos: List[str] = []
+        for path in args.traces:
+            try:
+                trace = read_trace(path)
+            except OSError as exc:
+                print(f"sweep: error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            except ValueError as exc:
+                print(f"sweep: error: {path}: {exc}", file=sys.stderr)
+                return 2
+            key = trace_key(trace)
+            traces[key] = trace
+            ref = f"trace:{key}"
+            if ref not in grid["workloads"]:
+                grid["workloads"] = [w for w in grid["workloads"] if w] + [ref]
+            if trace.topology and trace.topology not in trace_topos:
+                trace_topos.append(trace.topology)
+        if not args.topos and trace_topos:
+            # replay on the topologies the traces were recorded on
+            # (traces refuse to run anywhere else)
+            grid["topologies"] = trace_topos
     cache = None
     if args.cache_dir:
         from repro.network.service import ResultCache
@@ -364,7 +478,7 @@ def _cmd_sweep(args) -> int:
     try:
         records = run_sweep(
             processes=args.processes, batch=args.batch, cache=cache,
-            backend=args.backend, **_grid_from_args(args),
+            backend=args.backend, traces=traces, **grid,
         )
     except ValueError as exc:
         print(f"sweep: error: {exc}", file=sys.stderr)
@@ -408,6 +522,83 @@ def _print_curves(records) -> None:
                 f"{r.delivery_rate:>6.3f} {r.dropped:>6.1f} {r.stalled:>6.1f} "
                 f"{r.deadlock_rate:>5.2f} {r.max_queue:>5}"
             )
+
+
+def _cmd_trace(args) -> int:
+    from repro.network.workloads import read_trace, trace_key
+
+    if args.trace_command == "record":
+        from repro.network.sweep import parse_topology
+        from repro.network.workloads import record_trace, write_trace
+
+        try:
+            topo = parse_topology(args.topo)
+            trace = record_trace(
+                args.workload, args.topo, topo, args.window,
+                seed=args.seed, load_scale=args.scale,
+            )
+        except ValueError as exc:
+            print(f"trace: error: {exc}", file=sys.stderr)
+            return 2
+        write_trace(trace, args.out)
+        print(
+            f"recorded {len(trace.traffic)} packet(s) from "
+            f"{len(trace.tenants)} tenant(s) on {topo.name} to {args.out}"
+        )
+        print(f"trace key: {trace_key(trace)}")
+        return 0
+    # trace info
+    try:
+        trace = read_trace(args.path)
+    except OSError as exc:
+        print(f"trace: error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"trace: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"trace {args.path}")
+    print(f"{'topology':>14}: {trace.topology}")
+    print(f"{'inject window':>14}: {trace.inject_window}")
+    print(f"{'workload':>14}: {trace.workload or '(unspecified)'}")
+    print(f"{'seed':>14}: {trace.seed}")
+    print(f"{'packets':>14}: {len(trace.traffic)}")
+    print(f"{'key':>14}: {trace_key(trace)}")
+    counts = {name: 0 for name in trace.tenants}
+    for t in trace.tenant_ids:
+        counts[trace.tenants[t]] += 1
+    for name, prio in zip(trace.tenants, trace.priorities):
+        print(f"{'tenant':>14}: {name} (priority {prio}, "
+              f"{counts[name]} packet(s))")
+    return 0
+
+
+def _cmd_insights(args) -> int:
+    from repro.network.insights import (
+        analyze,
+        load_records,
+        render_text,
+        report_to_json,
+    )
+
+    try:
+        records = load_records(args.path)
+    except OSError as exc:
+        print(f"insights: error: cannot read {args.path}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"insights: error: {exc}", file=sys.stderr)
+        return 2
+    report = analyze(records)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report_to_json(report))
+        print(f"wrote insight report to {args.out}", file=sys.stderr)
+    if args.json:
+        sys.stdout.write(report_to_json(report))
+    else:
+        print(render_text(report))
+    return 0
 
 
 def _cmd_serve(args) -> int:

@@ -39,6 +39,14 @@ generalized Fibonacci cube:
   saturation curves over (topology x router x pattern x faults x load)
   grids, with ``batch > 1`` packing compatible points into lock-step
   batches;
+- :mod:`repro.network.workloads` -- multi-tenant overlay workloads:
+  N named tenants (own pattern / load / priority) superimposed with
+  per-source QoS injection arbitration, compiled to plain traffic plus
+  tenant ids, recorded/replayed as versioned NDJSON traces;
+- :mod:`repro.network.insights` -- rule-driven insight engine over
+  sweep records: saturation knees, deadlock / cycle-cap / fault /
+  starvation alerts, and the hypercube-vs-Fibonacci verdict as a
+  stable JSON report;
 - :mod:`repro.network.faults` -- fault model: static surgery reports and
   dynamic :class:`FaultPlan` schedules the simulator engines replay
   (masked routing epochs, in-flight drops, adaptive detours);
@@ -116,6 +124,29 @@ from repro.network.sweep import (
     write_csv,
     write_json,
 )
+from repro.network.workloads import (
+    TenantSpec,
+    TenantStats,
+    Trace,
+    Workload,
+    canonical_workload,
+    compile_trace,
+    compile_workload,
+    parse_workload,
+    read_trace,
+    record_trace,
+    trace_key,
+    write_trace,
+)
+from repro.network.insights import (
+    Insight,
+    RULES,
+    analyze,
+    knee_of,
+    load_records,
+    render_text,
+    report_to_json,
+)
 from repro.network.faults import FaultPlan, FaultReport, fault_tolerance_trial
 from repro.network.hamilton import find_hamiltonian_cycle, find_hamiltonian_path
 from repro.network.deadlock import (
@@ -172,6 +203,25 @@ __all__ = [
     "saturation_curves",
     "write_csv",
     "write_json",
+    "TenantSpec",
+    "TenantStats",
+    "Trace",
+    "Workload",
+    "canonical_workload",
+    "compile_trace",
+    "compile_workload",
+    "parse_workload",
+    "read_trace",
+    "record_trace",
+    "trace_key",
+    "write_trace",
+    "Insight",
+    "RULES",
+    "analyze",
+    "knee_of",
+    "load_records",
+    "render_text",
+    "report_to_json",
     "binomial_broadcast_schedule",
     "broadcast_rounds",
     "verify_schedule",

@@ -81,8 +81,11 @@ class BatchItem:
     Replications without faults that share one router *instance* also
     share a single route-table build, so a sweep packer should construct
     one router object per router kind and reuse it across its items.
-    ``switching`` and ``flits`` mirror ``VectorizedSimulator.run``'s
-    parameters; any mix of modes is batched natively.
+    ``switching``, ``flits`` and ``tenants`` mirror
+    ``VectorizedSimulator.run``'s parameters; any mix of modes is
+    batched natively, and items carrying per-packet tenant ids get
+    :attr:`~repro.network.simulator.SimResult.tenant_stats` exactly as
+    the sequential engine computes them.
     """
 
     traffic: Sequence[Tuple[int, int, int]]
@@ -90,6 +93,7 @@ class BatchItem:
     faults: Optional[FaultPlan] = None
     switching: Union[str, FlowControl] = "sf"
     flits: Union[int, Sequence[int]] = 1
+    tenants: Optional[Sequence[int]] = None
 
 
 class BatchedSimulator:
@@ -141,6 +145,11 @@ class BatchedSimulator:
                     f"(got {min(t[0] for t in traffic)}); "
                     "both engines count time from 0"
                 )
+            if item.tenants is not None and len(item.tenants) != len(traffic):
+                raise ValueError(
+                    f"tenants must align with traffic: {len(item.tenants)} "
+                    f"ids for {len(traffic)} packets"
+                )
             if flow.pipelined:
                 _validate_vct(flow, flit_arr)
             flows.append(flow)
@@ -180,8 +189,15 @@ class BatchedSimulator:
             _flow_result(
                 out, prep.inject, nhops, prep.misroutes[prep.row],
                 prep.num_dropped,
+                all_tenants=item.tenants,
+                pid_tenants=(
+                    [int(item.tenants[j]) for j in prep.order]
+                    if item.tenants is not None else None
+                ),
             )
-            for out, prep, nhops in zip(outcomes, preps, nhops_list)
+            for out, prep, nhops, item in zip(
+                outcomes, preps, nhops_list, items
+            )
         ]
 
     # -- preparation ------------------------------------------------------

@@ -59,7 +59,9 @@ __all__ = [
 
 # Bump when the PointSpec schema, the canonical encoding, or the engine
 # semantics change: old entries then simply stop being addressed.
-CACHE_VERSION = 1
+# v2: PointSpec grew the workload axis and SweepRecord the workload /
+# tenants columns (multi-tenant trace-driven workloads).
+CACHE_VERSION = 2
 
 _SPEC_FIELDS = tuple(f.name for f in fields(PointSpec))
 _RECORD_FIELDS = tuple(f.name for f in fields(SweepRecord))

@@ -60,7 +60,7 @@ PROTOCOL_VERSION = 1
 # client bug and is rejected rather than silently dropped
 GRID_KEYS = frozenset({
     "topologies", "patterns", "loads", "routers", "seeds", "faults",
-    "switching", "vcs", "buffers", "flits", "collectives",
+    "switching", "vcs", "buffers", "flits", "collectives", "workloads",
     "inject_window", "max_cycles",
 })
 
@@ -110,4 +110,14 @@ def validate_grid(grid: Any) -> Dict[str, Any]:
         )
     if not grid.get("topologies"):
         raise ValueError("grid must name at least one topology")
+    for w in grid.get("workloads") or ():
+        # trace references resolve against files the *client* holds; the
+        # wire carries no trace payloads, so reject them loudly instead
+        # of failing later inside a worker
+        if isinstance(w, str) and w.startswith("trace:"):
+            raise ValueError(
+                "trace-replay workloads cannot be submitted over the wire "
+                "(the server has no trace files); replay traces with "
+                "'repro sweep --trace' locally"
+            )
     return grid

@@ -97,12 +97,14 @@ from repro.network.kernel import KernelRun, _link_arrays, run_fused
 from repro.network.routing import BfsRouter, RouteTable
 from repro.network.topology import Topology
 from repro.network.traffic import uniform_traffic
+from repro.network.workloads import TenantStats, tenant_stats_of
 
 __all__ = [
     "FlowControl",
     "NetworkSimulator",
     "ReferenceSimulator",
     "SimResult",
+    "TenantStats",
     "VectorizedSimulator",
     "uniform_traffic",
 ]
@@ -126,6 +128,10 @@ class SimResult:
     run that completed); ``deadlocked`` is set when a flow-controlled
     run (wormhole/vct) reached a state where no flit could ever move
     again -- detected and reported, never an unterminating simulation.
+    ``tenant_stats`` is the per-tenant accounting of a multi-tenant
+    workload run (one :class:`~repro.network.workloads.TenantStats` per
+    tenant id, ascending) -- empty for single-tenant traffic, so every
+    pre-workload result compares unchanged.
     """
 
     cycles: int
@@ -138,6 +144,7 @@ class SimResult:
     hops: Tuple[int, ...] = ()
     stalled: int = 0
     deadlocked: bool = False
+    tenant_stats: Tuple[TenantStats, ...] = ()
 
     @property
     def avg_latency(self) -> float:
@@ -227,11 +234,23 @@ def _flow_result(
     nhops: np.ndarray,
     mis_of: np.ndarray,
     num_dropped: int,
+    all_tenants: Optional[Sequence[int]] = None,
+    pid_tenants: Optional[Sequence[int]] = None,
 ) -> SimResult:
     """Assemble a :class:`SimResult` from a flow-engine outcome (shared
-    by both engines so the aggregation itself cannot diverge)."""
+    by both engines so the aggregation itself cannot diverge).
+
+    ``all_tenants`` tags every offered packet and ``pid_tenants`` the
+    routed packets in pid order; when supplied, the per-tenant stats ride
+    along (see :func:`~repro.network.workloads.tenant_stats_of`).
+    """
     mask = outcome.delivered_at >= 0
     latencies = tuple((outcome.delivered_at[mask] - inject[mask]).tolist())
+    tstats: Tuple[TenantStats, ...] = ()
+    if all_tenants is not None:
+        tstats = tenant_stats_of(
+            all_tenants, pid_tenants or (), mask.tolist(), latencies
+        )
     return SimResult(
         cycles=outcome.cycles,
         injected=int(nhops.size) + num_dropped,
@@ -243,6 +262,7 @@ def _flow_result(
         hops=tuple(nhops[mask].tolist()),
         stalled=outcome.stalled,
         deadlocked=outcome.deadlocked,
+        tenant_stats=tstats,
     )
 
 
@@ -398,6 +418,7 @@ class ReferenceSimulator:
         faults: Optional[FaultPlan] = None,
         switching: Union[str, FlowControl] = "sf",
         flits: Union[int, Sequence[int]] = 1,
+        tenants: Optional[Sequence[int]] = None,
     ) -> SimResult:
         """Simulate until all deliverable packets arrive (or ``max_cycles``).
 
@@ -414,11 +435,19 @@ class ReferenceSimulator:
         ``switching`` selects the flow-control discipline -- a mode name
         or a full :class:`FlowControl` -- and ``flits`` the per-packet
         flit counts (one int for all, or a sequence aligned with
-        ``traffic``); both only meaningful for wormhole/vct.
+        ``traffic``); both only meaningful for wormhole/vct.  ``tenants``
+        is an optional per-packet tenant id aligned with ``traffic``
+        (see :mod:`repro.network.workloads`); when given, the result
+        carries :attr:`SimResult.tenant_stats`.
         """
         flow = _as_flow(switching)
         traffic = list(traffic)
         flit_arr = resolve_flits(flits, len(traffic))
+        if tenants is not None and len(tenants) != len(traffic):
+            raise ValueError(
+                f"tenants must align with traffic: {len(tenants)} ids "
+                f"for {len(traffic)} packets"
+            )
         if not flow.pipelined and flit_arr.size and int(flit_arr.max()) > 1:
             raise ValueError(
                 "store-and-forward is a single-flit model; use "
@@ -436,6 +465,7 @@ class ReferenceSimulator:
             routes: List[List[int]] = []
             mis_of: List[int] = []
             nf: List[int] = []
+            pid_tenants: List[int] = []
             dropped = 0
             dist_cache: Dict[int, np.ndarray] = {}
             order = sorted(range(len(traffic)), key=lambda j: traffic[j][0])
@@ -448,6 +478,8 @@ class ReferenceSimulator:
                     inject.append(cycle)
                     routes.append(path)
                     nf.append(int(flit_arr[j]))
+                    if tenants is not None:
+                        pid_tenants.append(int(tenants[j]))
                     mis_of.append(
                         _misroute_hops(self.topo, dist_cache, src, dst, len(path) - 1)
                     )
@@ -459,6 +491,10 @@ class ReferenceSimulator:
             dropped = prep.num_dropped
             mis_of = [int(prep.misroutes[r]) for r in prep.row]
             nf = flit_arr[prep.order].tolist()
+            pid_tenants = (
+                [int(tenants[j]) for j in prep.order]
+                if tenants is not None else []
+            )
             link_dead = prep.link_dead
         if flow.pipelined:
             outcome = reference_flow_run(
@@ -470,6 +506,8 @@ class ReferenceSimulator:
                 np.asarray([len(r) - 1 for r in routes], dtype=np.int64),
                 np.asarray(mis_of, dtype=np.int64),
                 dropped,
+                all_tenants=tenants,
+                pid_tenants=pid_tenants if tenants is not None else None,
             )
         num = len(routes)
         delivered_at = [-1] * num
@@ -526,6 +564,12 @@ class ReferenceSimulator:
                 latencies.append(delivered_at[pid] - inject[pid])
                 hops.append(hop[pid])
                 misroutes += mis_of[pid]
+        tstats: Tuple[TenantStats, ...] = ()
+        if tenants is not None:
+            tstats = tenant_stats_of(
+                tenants, pid_tenants,
+                [delivered_at[pid] >= 0 for pid in range(num)], latencies,
+            )
         return SimResult(
             cycles=max(cycle, 1),
             injected=num + dropped,
@@ -536,6 +580,7 @@ class ReferenceSimulator:
             misroutes=misroutes,
             hops=tuple(hops),
             stalled=remaining - dropped_in_flight,
+            tenant_stats=tstats,
         )
 
 
@@ -580,16 +625,22 @@ class VectorizedSimulator:
         faults: Optional[FaultPlan] = None,
         switching: Union[str, FlowControl] = "sf",
         flits: Union[int, Sequence[int]] = 1,
+        tenants: Optional[Sequence[int]] = None,
     ) -> SimResult:
         """Simulate until all deliverable packets arrive (or ``max_cycles``).
 
         Semantics (and results) are identical to
-        :meth:`ReferenceSimulator.run`, fault plans and switching modes
-        included.
+        :meth:`ReferenceSimulator.run`, fault plans, switching modes and
+        per-packet ``tenants`` included.
         """
         flow = _as_flow(switching)
         traffic = list(traffic)
         flit_arr = resolve_flits(flits, len(traffic))
+        if tenants is not None and len(tenants) != len(traffic):
+            raise ValueError(
+                f"tenants must align with traffic: {len(tenants)} ids "
+                f"for {len(traffic)} packets"
+            )
         if not flow.pipelined and flit_arr.size and int(flit_arr.max()) > 1:
             raise ValueError(
                 "store-and-forward is a single-flit model; use "
@@ -598,9 +649,13 @@ class VectorizedSimulator:
         prep = _prepare(self.topo, self.router, traffic, route_table, faults)
         num = len(prep.row)
         if num == 0:
+            tstats: Tuple[TenantStats, ...] = ()
+            if tenants is not None:
+                tstats = tenant_stats_of(tenants, (), (), ())
             return SimResult(
                 cycles=1, injected=prep.num_dropped, delivered=0,
                 latencies=(), max_queue=0, dropped=prep.num_dropped,
+                tenant_stats=tstats,
             )
         link_seq, link_offsets, link_codes = self._link_arrays(prep.table)
         nhops = prep.table.lengths()[prep.row] - 1
@@ -619,6 +674,11 @@ class VectorizedSimulator:
         return _flow_result(
             outcome, prep.inject, nhops, prep.misroutes[prep.row],
             prep.num_dropped,
+            all_tenants=tenants,
+            pid_tenants=(
+                [int(tenants[j]) for j in prep.order]
+                if tenants is not None else None
+            ),
         )
 
 

@@ -58,7 +58,7 @@ import multiprocessing
 from dataclasses import asdict, dataclass, fields, replace
 from functools import lru_cache, partial
 from statistics import fmean, pstdev
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.network.batch import BatchedSimulator, BatchItem
 from repro.network.collectives import COLLECTIVES, run_collective
@@ -74,6 +74,13 @@ from repro.network.routing import (
 from repro.network.simulator import VectorizedSimulator
 from repro.network.topology import Topology, topology_of
 from repro.network.traffic import PATTERNS, flit_sizes, make_traffic
+from repro.network.workloads import (
+    Trace,
+    canonical_workload,
+    compile_trace,
+    compile_workload,
+    encode_tenant_column,
+)
 
 __all__ = [
     "CurvePoint",
@@ -166,6 +173,17 @@ class PointSpec:
     ``pattern``/``load``/``inject_window`` are then ignored (and
     normalised to ``"-"``/``1.0`` by :func:`run_sweep` so the grid does
     not replicate the point along those axes).
+
+    A non-empty ``workload`` turns the point into a multi-tenant run
+    (:mod:`repro.network.workloads`): an inline tenant spec
+    (``"bg:uniform:0.2;fg:broadcast:0.4:2"``) compiles arbitrated
+    overlay traffic with ``load`` acting as a load-scale multiplier on
+    every tenant (so workload saturation curves sweep exactly like
+    pattern curves), while a ``"trace:<key>"`` reference replays a
+    recorded trace (resolved through the ``traces`` mapping handed to
+    the runners; ``pattern`` and ``load`` are normalised to
+    ``"-"``/``1.0``).  ``workload`` and ``collective`` are mutually
+    exclusive.
     """
 
     topology: str
@@ -181,6 +199,7 @@ class PointSpec:
     buffer_depth: int = 0
     flits: str = "1"
     collective: str = ""
+    workload: str = ""
 
 
 @dataclass(frozen=True)
@@ -196,12 +215,21 @@ class SweepRecord:
     number of replications advanced in the same lock-step simulator
     batch as this point (1 = the point ran alone); every other column
     is bit-identical whatever the batching.
+
+    ``workload`` echoes the point's workload spec (canonicalised inline
+    spec or ``trace:<key>``, empty for single-tenant points) and
+    ``tenants`` carries the per-tenant accounting as one canonical
+    compact-JSON array -- per tenant: injected / delivered / undelivered
+    counts, mean and nearest-rank p95 latency -- so the multi-tenant
+    story survives flat CSV/JSON dumps and the service wire format
+    byte-for-byte.
     """
 
     topology: str
     router: str
     pattern: str
     collective: str
+    workload: str
     load: float
     seed: int
     faults: str
@@ -226,6 +254,7 @@ class SweepRecord:
     max_latency: int
     throughput: float
     delivery_rate: float
+    tenants: str = ""
     batch: int = 1
 
 
@@ -267,6 +296,38 @@ def _point_traffic(
     )
 
 
+def _point_workload(
+    spec: PointSpec,
+    topo: Topology,
+    plan: Optional[FaultPlan],
+    traces: Optional[Mapping[str, Trace]],
+):
+    """Resolve a workload point's traffic: compile the inline tenant
+    spec (``spec.load`` scaling every tenant), or replay the referenced
+    trace -- validated against the point's topology -- with the fault
+    plan applied at replay time.  Returns a
+    :class:`~repro.network.workloads.CompiledWorkload`."""
+    if spec.workload.startswith("trace:"):
+        key = spec.workload[len("trace:"):]
+        trace = (traces or {}).get(key)
+        if trace is None:
+            raise ValueError(
+                f"workload {spec.workload!r} references a trace this runner "
+                "was not given; pass it via the traces= mapping "
+                "(CLI: repro sweep --trace <file>)"
+            )
+        if trace.topology and parse_topology(trace.topology).name != topo.name:
+            raise ValueError(
+                f"trace {key!r} was recorded on {trace.topology!r}, not "
+                f"{spec.topology!r}; replay traces on their own topology"
+            )
+        return compile_trace(trace, topo, faults=plan)
+    return compile_workload(
+        spec.workload, topo, spec.inject_window, seed=spec.seed,
+        load_scale=spec.load, faults=plan,
+    )
+
+
 def _condense(
     spec: PointSpec,
     topo: Topology,
@@ -275,16 +336,38 @@ def _condense(
     rounds: int = 0,
     round_bound: int = 0,
     batch: int = 1,
+    tenant_names: Sequence[str] = (),
 ) -> SweepRecord:
     """Flatten one simulation outcome into a :class:`SweepRecord` (the
     single condensation path, shared by every runner so batched and
-    unbatched records cannot diverge)."""
+    unbatched records cannot diverge).  ``tenant_names`` labels a
+    workload point's tenant ids; the per-tenant stats then land in the
+    ``tenants`` column, with p95s computed here by the sweep's own
+    :func:`nearest_rank_p95` (one percentile definition for the whole
+    harness)."""
     pipelined = spec.switching != "sf"
+    tenants_col = ""
+    if result.tenant_stats:
+        tenants_col = encode_tenant_column(
+            tenant_names,
+            result.tenant_stats,
+            p95={
+                ts.tenant: nearest_rank_p95(ts.latencies)
+                for ts in result.tenant_stats
+            },
+        )
     return SweepRecord(
         topology=topo.name,
         router=spec.router,
-        pattern=spec.pattern if not spec.collective else "-",
+        pattern=spec.pattern if not (spec.collective or spec.workload) else "-",
         collective=spec.collective,
+        # the column is always the canonical spelling, even when the
+        # caller hands run_point a raw spec directly
+        workload=(
+            spec.workload
+            if not spec.workload or spec.workload.startswith("trace:")
+            else canonical_workload(spec.workload)
+        ),
         load=spec.load,
         seed=spec.seed,
         faults=spec.faults,
@@ -309,17 +392,25 @@ def _condense(
         max_latency=result.max_latency,
         throughput=result.throughput,
         delivery_rate=result.delivery_rate,
+        tenants=tenants_col,
         batch=batch,
     )
 
 
-def run_point(spec: PointSpec, backend=None) -> SweepRecord:
+def run_point(
+    spec: PointSpec,
+    backend=None,
+    traces: Optional[Mapping[str, Trace]] = None,
+) -> SweepRecord:
     """Run one grid point: build, generate, simulate, condense.
 
     Pattern points generate ``load``-normalised open-loop traffic;
     collective points (``spec.collective`` non-empty) compile and run
     the closed-loop barriered collective instead, the seed choosing the
-    root.  ``backend`` selects the kernel implementation
+    root; workload points (``spec.workload`` non-empty) compile the
+    multi-tenant overlay -- or replay the trace resolved through
+    ``traces`` -- and carry per-tenant stats in the record.  ``backend``
+    selects the kernel implementation
     (:mod:`repro.network.backends`); it is deliberately *not* part of
     the spec -- records are bit-identical across backends, so the point
     and its cache key describe the simulation, not the machinery.
@@ -334,6 +425,7 @@ def run_point(spec: PointSpec, backend=None) -> SweepRecord:
         else partial(VectorizedSimulator, backend=backend)
     )
     rounds = round_bound = 0
+    tenant_names: Sequence[str] = ()
     if spec.collective:
         if spec.collective not in COLLECTIVES:
             raise ValueError(
@@ -349,16 +441,26 @@ def run_point(spec: PointSpec, backend=None) -> SweepRecord:
         result = coll.result
         rounds, round_bound = coll.rounds, coll.round_bound
     else:
-        traffic = _point_traffic(spec, topo, plan)
+        tenants = None
+        if spec.workload:
+            compiled = _point_workload(spec, topo, plan, traces)
+            traffic: List[Tuple[int, int, int]] = list(compiled.traffic)
+            tenants = compiled.tenants
+            tenant_names = compiled.names
+        else:
+            traffic = _point_traffic(spec, topo, plan)
         if pipelined:
             sizes: "int | list" = flit_sizes(len(traffic), spec.flits, seed=spec.seed)
         else:
             sizes = 1
         result = engine(topo, router).run(
             traffic, max_cycles=spec.max_cycles, faults=plan,
-            switching=flow, flits=sizes,
+            switching=flow, flits=sizes, tenants=tenants,
         )
-    return _condense(spec, topo, plan, result, rounds, round_bound)
+    return _condense(
+        spec, topo, plan, result, rounds, round_bound,
+        tenant_names=tenant_names,
+    )
 
 
 def normalize_spec(spec: PointSpec) -> PointSpec:
@@ -368,13 +470,30 @@ def normalize_spec(spec: PointSpec) -> PointSpec:
     Store-and-forward points ignore the flow-control axes
     (``num_vcs``/``buffer_depth``/``flits`` are pinned to ``1``/``0``/
     ``"1"``); collective points ignore the open-loop ``pattern``/``load``
-    axes (pinned to ``"-"``/``1.0``).  Two specs with the same canonical
-    form produce bit-identical records, so this is both how
-    :func:`expand_grid` dedupes the grid and how the service cache's
-    ``point_key`` decides two points are the same simulation.
+    axes (pinned to ``"-"``/``1.0``).  Workload points pin ``pattern``
+    to ``"-"`` (tenants bring their own patterns) and canonicalise the
+    inline workload spelling; trace-replay workloads additionally pin
+    ``load`` to ``1.0`` (a recorded schedule does not scale).  Two specs
+    with the same canonical form produce bit-identical records, so this
+    is both how :func:`expand_grid` dedupes the grid and how the service
+    cache's ``point_key`` decides two points are the same simulation.
     """
+    if spec.collective and spec.workload:
+        raise ValueError(
+            "a grid point cannot be both a collective and a workload "
+            f"(got collective={spec.collective!r}, "
+            f"workload={spec.workload!r})"
+        )
     if spec.collective and (spec.pattern != "-" or spec.load != 1.0):
         spec = replace(spec, pattern="-", load=1.0)
+    if spec.workload:
+        if spec.workload.startswith("trace:"):
+            if spec.pattern != "-" or spec.load != 1.0:
+                spec = replace(spec, pattern="-", load=1.0)
+        else:
+            canon = canonical_workload(spec.workload)
+            if spec.pattern != "-" or spec.workload != canon:
+                spec = replace(spec, pattern="-", workload=canon)
     if spec.switching == "sf" and (
         spec.num_vcs != 1 or spec.buffer_depth != 0 or spec.flits != "1"
     ):
@@ -392,7 +511,9 @@ def _spec_batchable(spec: PointSpec) -> bool:
 
 
 def run_batch_points(
-    specs: Sequence[PointSpec], backend=None
+    specs: Sequence[PointSpec],
+    backend=None,
+    traces: Optional[Mapping[str, Trace]] = None,
 ) -> List[SweepRecord]:
     """Run a group of grid points, co-batching the compatible ones.
 
@@ -400,7 +521,9 @@ def run_batch_points(
     and cycle cap are packed into one
     :class:`~repro.network.batch.BatchedSimulator` lock-step run -- one
     router instance per router name, so replications also share route
-    tables; switching modes mix freely within a pack.  Only closed-loop
+    tables; switching modes mix freely within a pack, and workload
+    points batch natively (their per-packet tenant ids ride on the
+    :class:`~repro.network.batch.BatchItem`).  Only closed-loop
     collective points run through :func:`run_point`.  Records
     come back in ``specs`` order and are bit-identical to the unbatched
     ones, except that ``batch`` records each point's co-batch size.
@@ -416,19 +539,28 @@ def run_batch_points(
         if _spec_batchable(spec):
             groups.setdefault((spec.topology, spec.max_cycles), []).append(i)
         else:
-            records[i] = run_point(spec, backend=backend)
+            records[i] = run_point(spec, backend=backend, traces=traces)
     for (tspec, max_cycles), members in groups.items():
         topo = parse_topology(tspec)
         routers: Dict[str, object] = {}
         items: List[BatchItem] = []
         plans: List[Optional[FaultPlan]] = []
+        names_of: List[Sequence[str]] = []
         for i in members:
             spec = specs[i]
             router = routers.setdefault(
                 spec.router, _resolve_router(spec.router)()
             )
             plan = _point_plan(spec, topo)
-            traffic = _point_traffic(spec, topo, plan)
+            tenants = None
+            tenant_names: Sequence[str] = ()
+            if spec.workload:
+                compiled = _point_workload(spec, topo, plan, traces)
+                traffic: List[Tuple[int, int, int]] = list(compiled.traffic)
+                tenants = compiled.tenants
+                tenant_names = compiled.names
+            else:
+                traffic = _point_traffic(spec, topo, plan)
             # the exact switching/flits resolution of run_point, so a
             # batched record can never diverge from the solo one
             if spec.switching != "sf":
@@ -439,15 +571,19 @@ def run_batch_points(
                 sizes = 1
             items.append(BatchItem(
                 traffic=traffic, router=router, faults=plan,
-                switching=_point_flow(spec), flits=sizes,
+                switching=_point_flow(spec), flits=sizes, tenants=tenants,
             ))
             plans.append(plan)
+            names_of.append(tenant_names)
         outcomes = BatchedSimulator(topo, backend=backend).run_batch(
             items, max_cycles=max_cycles
         )
-        for i, plan, result in zip(members, plans, outcomes):
+        for i, plan, result, tenant_names in zip(
+            members, plans, outcomes, names_of
+        ):
             records[i] = _condense(
-                specs[i], topo, plan, result, batch=len(members)
+                specs[i], topo, plan, result, batch=len(members),
+                tenant_names=tenant_names,
             )
     return records  # type: ignore[return-value]
 
@@ -464,6 +600,7 @@ def expand_grid(
     buffers: Sequence[int] = (4,),
     flits: Sequence[str] = ("1",),
     collectives: Sequence[str] = ("",),
+    workloads: Sequence[str] = ("",),
     inject_window: int = 64,
     max_cycles: int = 100000,
 ) -> List[PointSpec]:
@@ -475,6 +612,10 @@ def expand_grid(
     names, impossible fault plans and bad flit specs raise before any
     point runs), each grid cell is normalised via :func:`normalize_spec`
     and duplicates collapse while preserving first-seen grid order.
+    ``workloads`` adds multi-tenant points (``""`` = the single-tenant
+    grid): inline tenant specs are parsed eagerly, ``trace:<key>``
+    references resolve at run time.  A grid cannot cross non-empty
+    workloads with non-empty collectives -- a cell cannot be both.
     """
     for p in patterns:
         if p not in PATTERNS:
@@ -484,6 +625,15 @@ def expand_grid(
             raise ValueError(
                 f"unknown collective {c!r}; choose from {sorted(COLLECTIVES)}"
             )
+    for w in workloads:
+        if w and not w.startswith("trace:"):
+            canonical_workload(w)  # raises on a bad inline spec
+    if any(workloads) and any(collectives):
+        raise ValueError(
+            "workloads and collectives cannot cross in one grid: a cell "
+            "cannot be both a multi-tenant workload and a closed-loop "
+            "collective -- run them as two sweeps"
+        )
     for r in routers:
         if r not in ROUTERS:
             raise ValueError(f"unknown router {r!r}; choose from {sorted(ROUTERS)}")
@@ -507,7 +657,7 @@ def expand_grid(
         normalize_spec(PointSpec(
             topology=t, router=r, pattern=p, load=ld, seed=s, faults=f,
             switching=sw, num_vcs=v, buffer_depth=b, flits=fl,
-            collective=c,
+            collective=c, workload=w,
             inject_window=inject_window, max_cycles=max_cycles,
         ))
         for t in topologies
@@ -519,6 +669,7 @@ def expand_grid(
         for b in buffers
         for fl in flits
         for c in collectives
+        for w in workloads
         for ld in loads
         for s in seeds
     ))
@@ -529,20 +680,25 @@ def _execute(
     processes: int = 1,
     batch: int = 1,
     backend=None,
+    traces: Optional[Mapping[str, Trace]] = None,
 ) -> List[SweepRecord]:
     """Run already-validated specs, preserving order: the execution half
     of :func:`run_sweep` (also what the sweep service's workers use).
 
     ``backend`` crosses process boundaries, so with ``processes > 1`` it
     must be a backend *name* (or ``None``) -- backend objects hold
-    unpicklable state (a loaded shared library).
+    unpicklable state (a loaded shared library).  ``traces`` resolves
+    ``trace:<key>`` workload references; :class:`Trace` is plain tuples,
+    so the mapping pickles to pool workers.
     """
     specs = list(specs)
     if batch <= 1:
         if processes > 1 and len(specs) > 1:
             with multiprocessing.Pool(processes) as pool:
-                return pool.map(partial(run_point, backend=backend), specs)
-        return [run_point(s, backend=backend) for s in specs]
+                return pool.map(
+                    partial(run_point, backend=backend, traces=traces), specs
+                )
+        return [run_point(s, backend=backend, traces=traces) for s in specs]
     # pack compatible specs into batch tasks; the pool (when used)
     # distributes whole batches, and records reassemble in grid order
     groups: Dict[object, List[PointSpec]] = {}
@@ -556,9 +712,15 @@ def _execute(
     ]
     if processes > 1 and len(tasks) > 1:
         with multiprocessing.Pool(processes) as pool:
-            outs = pool.map(partial(run_batch_points, backend=backend), tasks)
+            outs = pool.map(
+                partial(run_batch_points, backend=backend, traces=traces),
+                tasks,
+            )
     else:
-        outs = [run_batch_points(task, backend=backend) for task in tasks]
+        outs = [
+            run_batch_points(task, backend=backend, traces=traces)
+            for task in tasks
+        ]
     by_spec = {
         spec: rec for task, recs in zip(tasks, outs)
         for spec, rec in zip(task, recs)
@@ -578,12 +740,14 @@ def run_sweep(
     buffers: Sequence[int] = (4,),
     flits: Sequence[str] = ("1",),
     collectives: Sequence[str] = ("",),
+    workloads: Sequence[str] = ("",),
     inject_window: int = 64,
     max_cycles: int = 100000,
     processes: int = 1,
     batch: int = 1,
     cache=None,
     backend=None,
+    traces: Optional[Mapping[str, Trace]] = None,
 ) -> List[SweepRecord]:
     """Run the (topology x router x pattern x faults x switching x vcs x
     buffers x flits x collective x load x seed) grid.
@@ -622,6 +786,13 @@ def run_sweep(
     1``).  Backends are bit-identical, so it never enters the grid, the
     records, or the cache keys: a cache warmed under one backend is
     fully warm under every other.
+
+    ``workloads`` adds multi-tenant points (see :func:`expand_grid`);
+    ``traces`` maps trace keys to loaded
+    :class:`~repro.network.workloads.Trace` objects for ``trace:<key>``
+    workload values (the CLI builds it from ``--trace`` files).  Trace
+    points cache by the trace's *content* key, so a warm cache follows
+    the trace wherever its file moves.
     """
     if batch < 1:
         raise ValueError(f"batch must be at least 1, got {batch}")
@@ -629,14 +800,19 @@ def run_sweep(
         topologies, patterns=patterns, loads=loads, routers=routers,
         seeds=seeds, faults=faults, switching=switching, vcs=vcs,
         buffers=buffers, flits=flits, collectives=collectives,
+        workloads=workloads,
         inject_window=inject_window, max_cycles=max_cycles,
     )
     if cache is None:
-        return _execute(specs, processes=processes, batch=batch, backend=backend)
+        return _execute(
+            specs, processes=processes, batch=batch, backend=backend,
+            traces=traces,
+        )
     found = {s: r for s in specs if (r := cache.get(s)) is not None}
     missing = [s for s in specs if s not in found]
     if missing:
-        runs = _execute(missing, processes, batch, backend=backend)
+        runs = _execute(missing, processes, batch, backend=backend,
+                        traces=traces)
         for spec, rec in zip(missing, runs):
             cache.put(spec, rec)
             found[spec] = rec
@@ -666,7 +842,19 @@ class CurvePoint:
     ``stalled`` the mean stuck-packet count.  For collective cells
     ``rounds`` is the mean schedule round count over the seeds (roots
     vary by seed, so BFS-tree round counts may too) against the shared
-    ``round_bound``; both are zero on pattern cells."""
+    ``round_bound``; both are zero on pattern cells.
+
+    Seed-axis aggregation is deliberately mixed and the choice per
+    column is part of the contract: ``p95_latency`` is the **mean of
+    the per-seed p95s** (each seed's :func:`nearest_rank_p95` averaged
+    across seeds -- an unbiased per-replication tail estimate, *not*
+    the p95 of the pooled latency sample, which would let one bad seed's
+    tail dominate the cell), while ``max_queue`` and ``max_latency``
+    take the **max** over seeds (high-water marks: "the worst any
+    replication saw" is the number a buffer-sizing decision needs).
+    The pooled-sample p95 lies within the per-seed min/max envelope, a
+    bound the cross-check test pins down so these semantics cannot
+    silently drift."""
 
     topology: str
     router: str
@@ -706,14 +894,17 @@ def saturation_curves(
     instead of interleaving seed replicas along the curve; the fifth key
     element is :func:`flow_tag`'s switching-configuration string (``""``
     for plain store-and-forward) and the sixth the collective name
-    (``""`` for pattern records, whose curves are unchanged).
+    (``""`` for pattern records, whose curves are unchanged).  Workload
+    records put their workload spec in the pattern slot (their
+    ``pattern`` column is the uninformative ``"-"``), so distinct
+    workloads on one topology get distinct curves.
     """
     cells: Dict[
         Tuple[str, str, str, str, str, str], Dict[float, List[SweepRecord]]
     ] = {}
     for rec in records:
-        key = (rec.topology, rec.router, rec.pattern, rec.faults,
-               flow_tag(rec), rec.collective)
+        key = (rec.topology, rec.router, rec.workload or rec.pattern,
+               rec.faults, flow_tag(rec), rec.collective)
         cells.setdefault(key, {}).setdefault(rec.load, []).append(rec)
     curves: Dict[Tuple[str, str, str, str, str, str], List[CurvePoint]] = {}
     for key, by_load in cells.items():

@@ -218,6 +218,14 @@ def tornado_traffic(
     classic half-way-around adversary for minimal routing."""
     n = topo.num_nodes
     stride = max(1, n // 2)
+    # a wrapped stride (n == 1, or any (s + stride) % n == s degeneracy)
+    # would make every node its own destination, violating the src != dst
+    # pattern contract: reject it up front instead of emitting self-traffic
+    if n < 2 or stride % n == 0:
+        raise ValueError(
+            f"tornado traffic is degenerate on {n} node(s): "
+            f"stride {stride} wraps every source onto itself"
+        )
     # tornado is defined on node positions, not addresses: no word mapping
     return _structured_traffic(
         topo, num_packets, inject_window, seed, None, lambda s, b: (s + stride) % n
@@ -234,6 +242,16 @@ def hotspot_traffic(
 ) -> Traffic:
     """Hotspot traffic: each packet targets ``hotspot`` with probability
     ``fraction``, and a uniform random destination otherwise."""
+    # validate the node count with the argument checks, not deep inside the
+    # draw loop: a single-node topology would otherwise surface as a raw
+    # ``randrange(0)`` ValueError when the first hotspot packet picks its
+    # source from the empty "everyone but the hotspot" population
+    if topo.num_nodes < 2:
+        raise ValueError(
+            "hotspot traffic needs at least two nodes "
+            "(no source can target a distinct hotspot on "
+            f"{topo.num_nodes} node(s))"
+        )
     n = _check_args(topo, num_packets, inject_window)
     if not 0 <= hotspot < n:
         raise ValueError(f"hotspot node {hotspot} out of range for {n} nodes")

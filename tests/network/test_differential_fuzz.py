@@ -8,7 +8,10 @@ asserts the reference and vectorized engines produce bit-identical
 ``SimResult``s on every sampled case.  A backend pass replays the same
 sampled space through the NumPy and native kernel backends (skipped
 where no C toolchain exists).  A companion pass fuzzes the
-closed-loop collective compiler the same way, and a batch pass stacks a
+closed-loop collective compiler the same way, a workload pass samples
+random multi-tenant overlays (tenant mixes, priorities, QoS rate caps)
+and requires every engine and backend to agree on the per-tenant stats
+too, and a batch pass stacks a
 random K of mixed replications (seeds, loads, patterns, routers, fault
 plans, switching modes -- sf, wormhole and vct all batch natively
 through the fused kernel) into one ``BatchedSimulator`` run and checks
@@ -39,6 +42,7 @@ from repro.network.flowcontrol import FlowControl
 from repro.network.simulator import ReferenceSimulator, VectorizedSimulator
 from repro.network.sweep import ROUTERS, parse_topology
 from repro.network.traffic import PATTERNS, flit_sizes, make_traffic
+from repro.network.workloads import compile_workload
 
 CASES = int(os.environ.get("REPRO_FUZZ_CASES", "30"))
 BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260730"))
@@ -203,6 +207,67 @@ def run_collective_case(seed: int) -> "str | None":
     return None
 
 
+def sample_workload(rng: random.Random) -> str:
+    """A random multi-tenant workload spec: 2-4 tenants with mixed
+    patterns, loads and priorities, rate drawn from {0, 1, 2}."""
+    tenants = []
+    for i in range(rng.randint(2, 4)):
+        pattern = rng.choice(sorted(PATTERNS))
+        load = round(rng.uniform(0.05, 0.6), 2)
+        prio = rng.randint(0, 3)
+        tenants.append(f"t{i}:{pattern}:{load}:{prio}")
+    spec = ";".join(tenants)
+    rate = rng.choice((0, 1, 2))
+    return f"{spec};rate={rate}" if rate != 1 else spec
+
+
+def run_workload_case(seed: int) -> "str | None":
+    """One multi-tenant overlay case through both engines (and, where a
+    toolchain exists, both kernel backends): bit-identical SimResults
+    with per-tenant stats required."""
+    cfg = sample_case(seed)
+    rng = random.Random(seed ^ 0x5EED)
+    workload = sample_workload(rng)
+    topo = parse_topology(cfg["topology"])
+    router = ROUTERS[cfg["router"]]()
+    plan = (
+        FaultPlan.parse(cfg["faults"], num_nodes=topo.num_nodes)
+        if cfg["faults"] else None
+    )
+    compiled = compile_workload(
+        workload, topo, cfg["window"], seed=cfg["traffic_seed"], faults=plan
+    )
+    if cfg["switching"] == "sf":
+        flow, sizes = "sf", 1
+    else:
+        flow = FlowControl(
+            switching=cfg["switching"],
+            buffer_depth=cfg["buffer_depth"],
+            num_vcs=cfg["num_vcs"],
+        )
+        sizes = flit_sizes(
+            len(compiled.traffic), cfg["flits"], seed=cfg["flit_seed"]
+        )
+    kwargs = dict(
+        max_cycles=cfg["max_cycles"], faults=plan, switching=flow,
+        flits=sizes, tenants=compiled.tenants,
+    )
+    results = [
+        ReferenceSimulator(topo, router).run(compiled.traffic, **kwargs),
+        VectorizedSimulator(topo, router).run(compiled.traffic, **kwargs),
+    ]
+    if _native.load_library()[0] is not None:
+        results.append(
+            VectorizedSimulator(topo, router, backend="native").run(
+                compiled.traffic, **kwargs
+            )
+        )
+    if any(r != results[0] for r in results[1:]):
+        flat = dict(cfg, workload=workload)
+        return _describe(seed, flat, "workload")
+    return None
+
+
 def sample_batch_case(seed: int) -> dict:
     """A deterministic batch of K mixed replications on one topology."""
     rng = random.Random(seed)
@@ -360,6 +425,23 @@ def test_differential_fuzz_collectives():
             line
             for line in (
                 run_collective_case(BASE_SEED + i) for i in range(cases)
+            )
+            if line
+        ]
+    )
+
+
+@pytest.mark.heavy
+def test_differential_fuzz_workloads():
+    """The multi-tenant pass: random overlay workloads (tenant mixes,
+    priorities, rate caps) through reference, NumPy and -- when
+    available -- native, per-tenant stats included, bit for bit."""
+    cases = max(1, CASES // 3)
+    _report(
+        [
+            line
+            for line in (
+                run_workload_case(BASE_SEED + i) for i in range(cases)
             )
             if line
         ]

@@ -41,6 +41,10 @@ GOLDEN_KEY_SPECS = [
     PointSpec(topology="11:5", collective="broadcast", pattern="-",
               load=1.0, switching="vct", num_vcs=2, buffer_depth=2,
               flits="2"),
+    PointSpec(topology="Q:4", pattern="-", load=0.5,
+              workload="bg:uniform:0.2:0;fg:hotspot:0.1:2"),
+    PointSpec(topology="Q:4", pattern="-", load=1.0,
+              workload="trace:0123456789abcdef"),
 ]
 
 SMALL_GRID = dict(
@@ -112,9 +116,29 @@ class TestPointKey:
             replace(base, buffer_depth=5),
             replace(base, flits="3"),
             replace(base, collective="broadcast", pattern="-", load=1.0),
+            replace(base, workload="t:uniform:0.3:0", pattern="-"),
+            replace(base, workload="t:uniform:0.3:1", pattern="-"),
+            replace(base, workload="trace:0123456789abcdef", pattern="-",
+                    load=1.0),
         ]
         keys = [point_key(s) for s in distinct]
         assert len(set(keys)) == len(keys)
+
+    def test_workload_specs_collide_across_pattern_but_not_load(self):
+        """Workload points normalise the pattern axis away (the tenants
+        carry their own patterns) but keep load: it scales every
+        tenant, so each load is a distinct simulation."""
+        base = PointSpec(topology="Q:3", workload="t:uniform:0.2:0",
+                         pattern="-", load=0.5)
+        assert point_key(replace(base, pattern="tornado")) == point_key(base)
+        assert point_key(replace(base, load=0.7)) != point_key(base)
+
+    def test_equivalent_workload_spellings_collide(self):
+        """Canonicalisation folds spelling variants (default priority,
+        explicit rate=1, float formatting) onto one key."""
+        a = PointSpec(topology="Q:3", workload="t:uniform:0.2")
+        b = PointSpec(topology="Q:3", workload="t:uniform:0.20:0;rate=1")
+        assert point_key(a) == point_key(b)
 
 
 def dump_golden_keys() -> None:

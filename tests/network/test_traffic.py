@@ -67,6 +67,40 @@ class TestEveryPattern:
         with pytest.raises(ValueError, match="unknown traffic pattern"):
             make_traffic("nope", gamma6, 5, 5)
 
+
+class TestDegenerateTopologyGuards:
+    """Regression: tornado and hotspot used to fall into their generation
+    loops on degenerate topologies -- tornado emitting src == dst
+    self-traffic when its stride wraps, hotspot dying deep in the draw
+    loop with a raw ``randrange(0)``.  Both now reject up front with a
+    message naming the degeneracy."""
+
+    def _one_node(self):
+        g = path_graph(1)
+        g.set_labels(["x"])
+        return topology_of(g, name="dot")
+
+    def test_tornado_single_node_names_the_wrap(self):
+        with pytest.raises(ValueError, match="stride 1 wraps"):
+            tornado_traffic(self._one_node(), 5, 5)
+
+    def test_tornado_never_emits_self_traffic(self, gamma6):
+        out = tornado_traffic(gamma6, 200, 8, seed=3)
+        assert all(src != dst for _, src, dst in out)
+
+    def test_hotspot_single_node_rejected_up_front(self):
+        # the guard fires with the argument checks, before any drawing:
+        # even a 0-packet request reports the topology problem
+        with pytest.raises(ValueError, match="at least two nodes"):
+            hotspot_traffic(self._one_node(), 0, 5)
+
+    def test_hotspot_full_fraction_on_two_nodes(self):
+        g = path_graph(2)
+        g.set_labels(["a", "b"])
+        topo = topology_of(g, name="pair")
+        out = hotspot_traffic(topo, 20, 5, seed=2, hotspot=0, fraction=1.0)
+        assert all((src, dst) == (1, 0) for _, src, dst in out)
+
     @pytest.mark.parametrize("pattern", sorted(PATTERNS))
     @pytest.mark.parametrize("window", [1, 3, 10, 64])
     def test_every_cycle_inside_the_inject_window(self, gamma6, pattern, window):
