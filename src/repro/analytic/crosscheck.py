@@ -1,0 +1,159 @@
+"""Predict-then-verify driver: analytic bounds vs simulated knees.
+
+The model half of this package predicts, per cube topology, a uniform-
+traffic saturation bound ``theta*`` (:mod:`repro.analytic.bounds`); the
+simulation half of the repo measures, per sweep curve, a saturation
+knee (:func:`repro.network.insights.knee_of`).  This module is the
+bridge that holds the two to account: for every *eligible* curve --
+uniform pattern, no faults, plain store-and-forward, no collective, a
+topology the analytic layer recognizes -- it compares knee against
+bound and issues a verdict:
+
+- ``consistent`` -- the knee sits at or below
+  ``tolerance * theta*`` (the simulator saturates no later than the
+  channel-load model allows; knees *below* the bound are expected,
+  since ``theta*`` is an upper bound that ignores routing and queueing
+  losses);
+- ``divergent`` -- the knee exceeds the band: the simulator claims to
+  push more uniform traffic through the bisection than the wiring can
+  carry, so one of the two sides is wrong;
+- ``no-knee`` -- the curve never saturated on its load axis, so there
+  is nothing to compare (the data records how far the axis reached
+  relative to the bound).
+
+The default ``tolerance`` is :data:`KNEE_TOLERANCE`; the knee is
+quantized to the sweep's load grid (the recorded knee is the first
+*grid point* past saturation, which overshoots the true knee by up to
+one load step), which is why the band is a ratio above 1 rather than
+equality.  The report is stable and canonical exactly like the insight
+engine's -- same sorted-keys two-space JSON -- and is byte-compared by
+a golden-fixture test.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.analytic.bounds import analytic_summary
+from repro.network.insights import knee_of
+from repro.network.sweep import SweepRecord, saturation_curves
+
+__all__ = [
+    "COMPARE_FORMAT",
+    "COMPARE_VERSION",
+    "KNEE_TOLERANCE",
+    "crosscheck_report",
+    "render_text",
+    "report_to_json",
+]
+
+COMPARE_FORMAT = "repro-analytic-crosscheck"
+COMPARE_VERSION = 1
+
+# Accept simulated knees up to this multiple of the analytic bound: the
+# knee is quantized upward to the next grid load, so a knee one step
+# past theta* is measurement granularity, not model failure.
+KNEE_TOLERANCE = 1.25
+
+VERDICTS = ("consistent", "divergent", "no-knee")
+
+
+def crosscheck_report(
+    records: Sequence[SweepRecord], tolerance: float = KNEE_TOLERANCE
+) -> Dict[str, Any]:
+    """Compare every eligible curve's simulated knee against its
+    topology's analytic saturation bound.
+
+    Deterministic and canonical: comparisons sort by (topology,
+    router), every value is a plain JSON type, no timestamps -- the
+    same records always serialize to the same bytes.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    records = list(records)
+    curves = saturation_curves(records)
+    comparisons: List[Dict[str, Any]] = []
+    skipped = 0
+    for key in curves:
+        topology, router, pattern, faults, flow, collective = key
+        if pattern != "uniform" or faults or flow or collective:
+            skipped += 1
+            continue
+        summary = analytic_summary(topology)
+        if summary is None or summary["saturation_bound"] <= 0:
+            skipped += 1
+            continue
+        curve = curves[key]
+        bound = summary["saturation_bound"]
+        knee = knee_of(curve)
+        max_load = curve[-1].load
+        if knee is None:
+            verdict = "no-knee"
+            ratio = None
+        else:
+            ratio = knee / bound
+            verdict = "consistent" if ratio <= tolerance else "divergent"
+        comparisons.append({
+            "topology": topology,
+            "router": router,
+            "nodes": summary["nodes"],
+            "edges": summary["edges"],
+            "bisection_crossing": summary["bisection"]["crossing"],
+            "analytic_bound": bound,
+            "knee_load": knee,
+            "knee_ratio": ratio,
+            "max_load": max_load,
+            "verdict": verdict,
+        })
+    comparisons.sort(key=lambda c: (c["topology"], c["router"]))
+    counts = {v: 0 for v in VERDICTS}
+    for c in comparisons:
+        counts[c["verdict"]] += 1
+    return {
+        "format": COMPARE_FORMAT,
+        "version": COMPARE_VERSION,
+        "tolerance": tolerance,
+        "records": len(records),
+        "curves": len(curves),
+        "compared": len(comparisons),
+        "skipped": skipped,
+        "verdict_counts": counts,
+        "comparisons": comparisons,
+    }
+
+
+def report_to_json(report: Mapping[str, Any]) -> str:
+    """The one canonical serialization (sorted keys, two-space indent,
+    trailing newline) -- what the golden-fixture test byte-compares."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def render_text(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering: divergences first, then the rest."""
+    counts = report["verdict_counts"]
+    lines = [
+        f"{report['records']} records, {report['curves']} curves, "
+        f"{report['compared']} compared against analytic bounds "
+        f"({counts['consistent']} consistent, {counts['divergent']} "
+        f"divergent, {counts['no-knee']} without a knee; "
+        f"tolerance {report['tolerance']}x)"
+    ]
+    marker = {"divergent": "!!", "no-knee": " ?", "consistent": "  "}
+    order = {"divergent": 0, "no-knee": 1, "consistent": 2}
+    for c in sorted(report["comparisons"], key=lambda c: order[c["verdict"]]):
+        if c["knee_load"] is None:
+            detail = (
+                f"no knee up to load {c['max_load']!r} "
+                f"(bound theta*={c['analytic_bound']:.3f})"
+            )
+        else:
+            detail = (
+                f"knee {c['knee_load']!r} vs theta*={c['analytic_bound']:.3f} "
+                f"(ratio {c['knee_ratio']:.2f})"
+            )
+        lines.append(
+            f"{marker[c['verdict']]} [{c['verdict']}] {c['topology']} / "
+            f"{c['router']}: {detail}"
+        )
+    return "\n".join(lines)

@@ -36,8 +36,18 @@ Subcommands
 ``gfc insights``
     Run the rule-driven insight engine over a sweep's CSV/JSON records:
     saturation knees, deadlock and fault-degradation alerts, tenant
-    starvation, and the hypercube-vs-Fibonacci verdict, as text or a
-    stable JSON report.
+    starvation, analytic-divergence warnings, and the
+    hypercube-vs-Fibonacci verdict, as text or a stable JSON report.
+``gfc analytic``
+    The predict side of predict-then-verify: ``analytic counts`` gives
+    exact node/edge counts (and the discovered linear recurrences) of
+    cube topologies at arbitrary dimension via the avoidance-FSM
+    transfer matrices; ``analytic bounds`` adds the direction-cut
+    bisection estimate and the uniform-traffic saturation bound
+    ``theta* = crossing*N / (n0*n1)`` (the classical ``2B/N`` with
+    ``B`` the bisection channel count); ``analytic compare``
+    cross-checks those bounds against the simulated saturation knees
+    of a sweep's records.
 ``gfc serve``
     Long-lived sweep job server (asyncio + worker pool) over the same
     cache: clients submit grids, cached cells answer instantly, missing
@@ -209,6 +219,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the stable JSON report instead of text",
     )
     p_ins.add_argument(
+        "--out", metavar="PATH",
+        help="also write the JSON report to PATH",
+    )
+
+    p_ana = sub.add_parser(
+        "analytic",
+        help="analytic FSM layer: exact counts, bisection/saturation "
+             "bounds, and the bound-vs-knee cross-check",
+    )
+    ana_sub = p_ana.add_subparsers(dest="analytic_command", required=True)
+    p_acnt = ana_sub.add_parser(
+        "counts",
+        help="exact node/edge counts of cube topologies at any dimension",
+    )
+    p_acnt.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="topology spec 'Q:<d>', '<factor>:<d>' or "
+             "'<f1>,<f2>:<d>' (multi-factor), or a record name "
+             "like 'Q_7(11)'",
+    )
+    p_acnt.add_argument(
+        "--recurrence", action="store_true",
+        help="also print the discovered linear recurrences for the "
+             "node and edge sequences",
+    )
+    p_abnd = ana_sub.add_parser(
+        "bounds",
+        help="bisection estimate and uniform-traffic saturation bound",
+    )
+    p_abnd.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="topology spec or record name (as for 'analytic counts')",
+    )
+    p_acmp = ana_sub.add_parser(
+        "compare",
+        help="cross-check analytic bounds against a sweep's simulated "
+             "saturation knees",
+    )
+    p_acmp.add_argument(
+        "path", metavar="RECORDS",
+        help="a 'sweep --csv' or 'sweep --json' output file",
+    )
+    p_acmp.add_argument(
+        "--tolerance", type=float, default=None, metavar="RATIO",
+        help="accept knees up to RATIO x the analytic bound "
+             "(default: the crosscheck module's KNEE_TOLERANCE)",
+    )
+    p_acmp.add_argument(
+        "--json", action="store_true",
+        help="print the stable JSON report instead of text",
+    )
+    p_acmp.add_argument(
         "--out", metavar="PATH",
         help="also write the JSON report to PATH",
     )
@@ -397,6 +459,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "insights":
         return _cmd_insights(args)
+    if args.command == "analytic":
+        return _cmd_analytic(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":
@@ -594,6 +658,83 @@ def _cmd_insights(args) -> int:
         with open(args.out, "w") as fh:
             fh.write(report_to_json(report))
         print(f"wrote insight report to {args.out}", file=sys.stderr)
+    if args.json:
+        sys.stdout.write(report_to_json(report))
+    else:
+        print(render_text(report))
+    return 0
+
+
+def _cmd_analytic(args) -> int:
+    if args.analytic_command == "compare":
+        return _cmd_analytic_compare(args)
+    from repro.analytic import analytic_summary, cube_model
+    from repro.analytic.enumeration import edge_system, vertex_system
+
+    for spec in args.specs:
+        summary = analytic_summary(spec)
+        if summary is None:
+            print(f"analytic: error: not a cube topology: {spec!r}",
+                  file=sys.stderr)
+            return 2
+        d = summary["dimension"]
+        factors = summary["factors"]
+        name = f"Q_{d}" + (f"({','.join(factors)})" if factors else "")
+        print(f"{name}:")
+        print(f"{'nodes':>18}: {summary['nodes']}")
+        print(f"{'edges':>18}: {summary['edges']}")
+        if args.analytic_command == "bounds":
+            cut = summary["bisection"]
+            if cut is None:
+                print(f"{'bisection':>18}: (no cuts: d = 0)")
+            else:
+                print(f"{'bisection cut':>18}: position {cut['position']} "
+                      f"({cut['n0']} | {cut['n1']}, "
+                      f"{cut['crossing']} crossing)")
+            print(f"{'saturation bound':>18}: "
+                  f"theta* = {summary['saturation_bound']:.4f} "
+                  f"pkt/node/cycle")
+        elif args.recurrence:
+            fsm = cube_model(tuple(factors))
+            for label, system in (
+                ("node", vertex_system(fsm)), ("edge", edge_system(fsm)),
+            ):
+                rec = system.linear_recurrence()
+                terms = " + ".join(
+                    f"{c}*a(n-{i + 1})" for i, c in enumerate(rec) if c
+                ) or "0"
+                print(f"{label + ' recurrence':>18}: a(n) = {terms} "
+                      f"(order {len(rec)})")
+    return 0
+
+
+def _cmd_analytic_compare(args) -> int:
+    from repro.analytic.crosscheck import (
+        crosscheck_report,
+        render_text,
+        report_to_json,
+    )
+    from repro.network.insights import load_records
+
+    try:
+        records = load_records(args.path)
+    except OSError as exc:
+        print(f"analytic: error: cannot read {args.path}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"analytic: error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = {} if args.tolerance is None else {"tolerance": args.tolerance}
+    try:
+        report = crosscheck_report(records, **kwargs)
+    except ValueError as exc:
+        print(f"analytic: error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report_to_json(report))
+        print(f"wrote cross-check report to {args.out}", file=sys.stderr)
     if args.json:
         sys.stdout.write(report_to_json(report))
     else:

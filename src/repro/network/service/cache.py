@@ -61,7 +61,9 @@ __all__ = [
 # semantics change: old entries then simply stop being addressed.
 # v2: PointSpec grew the workload axis and SweepRecord the workload /
 # tenants columns (multi-tenant trace-driven workloads).
-CACHE_VERSION = 2
+# v3: SweepRecord grew the analytic_bound column, so cached payloads
+# from v2 no longer match the record schema
+CACHE_VERSION = 3
 
 _SPEC_FIELDS = tuple(f.name for f in fields(PointSpec))
 _RECORD_FIELDS = tuple(f.name for f in fields(SweepRecord))

@@ -60,6 +60,7 @@ from functools import lru_cache, partial
 from statistics import fmean, pstdev
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.analytic.bounds import analytic_saturation_bound
 from repro.network.batch import BatchedSimulator, BatchItem
 from repro.network.collectives import COLLECTIVES, run_collective
 from repro.network.faults import FaultPlan
@@ -223,6 +224,13 @@ class SweepRecord:
     counts, mean and nearest-rank p95 latency -- so the multi-tenant
     story survives flat CSV/JSON dumps and the service wire format
     byte-for-byte.
+
+    ``analytic_bound`` is the topology's uniform-traffic saturation
+    bound ``theta*`` from the analytic channel-load model
+    (:func:`repro.analytic.bounds.analytic_saturation_bound`), ``0.0``
+    when no model applies; it is a property of the topology alone,
+    repeated per record so every dump is self-contained for the
+    predict-then-verify cross-check.
     """
 
     topology: str
@@ -254,6 +262,7 @@ class SweepRecord:
     max_latency: int
     throughput: float
     delivery_rate: float
+    analytic_bound: float = 0.0
     tenants: str = ""
     batch: int = 1
 
@@ -392,6 +401,7 @@ def _condense(
         max_latency=result.max_latency,
         throughput=result.throughput,
         delivery_rate=result.delivery_rate,
+        analytic_bound=analytic_saturation_bound(topo.name),
         tenants=tenants_col,
         batch=batch,
     )

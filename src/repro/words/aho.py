@@ -39,10 +39,13 @@ class MultiFactorAutomaton:
     Parameters
     ----------
     factors:
-        Non-empty collection of non-empty binary words.  Redundant factors
-        (superstrings of other factors) are harmless -- the automaton
-        minimizes them away semantically because the shorter factor's
-        state already absorbs.
+        Non-empty collection of non-empty binary words.  Subsumed factors
+        (superstrings of other factors, e.g. ``110`` next to ``11``) are
+        *dropped at construction*: a word containing the superstring
+        already contains the substring, so they define the same language
+        but would inflate the trie -- and therefore every transfer-matrix
+        count -- for nothing.  ``factors`` holds the surviving minimal
+        set.
     """
 
     __slots__ = ("factors", "num_states", "forbidden", "table")
@@ -55,6 +58,14 @@ class MultiFactorAutomaton:
             validate_word(f, name="forbidden factor")
             if not f:
                 raise ValueError("forbidden factors must be non-empty")
+        # drop subsumed factors: if g is a factor of f, avoiding g already
+        # implies avoiding f, so f only bloats the automaton (sorted order
+        # means any subsuming factor of f is shorter or equal, but scan
+        # all pairs -- lexicographic order is not length order)
+        factors = [
+            f for f in factors
+            if not any(g != f and g in f for g in factors)
+        ]
         self.factors = tuple(factors)
 
         # --- trie ---------------------------------------------------------
@@ -195,42 +206,17 @@ class MultiFactorAutomaton:
         return sum(power[0])
 
     def count_edges(self, d: int) -> int:
-        """``|E(Q_d(F))|`` by the two-phase pair DP (cf. the KMP twin)."""
+        """``|E(Q_d(F))|`` by the streaming pair DP (cf. the KMP twin).
+
+        ``O(states^2)`` memory whatever ``d`` is: the forward sweep
+        carries prefix weights and live word-pair weights instead of
+        materializing a suffix table per position.
+        """
         if d < 0:
             raise ValueError(f"length must be non-negative, got {d}")
-        table = self.table
-        forbidden = self.forbidden
-        m = forbidden
-        suffix_at = [{(s, t): 1 for s in range(m) for t in range(m)}]
-        for _ in range(d):
-            nxt: Dict[Tuple[int, int], int] = {}
-            prev = suffix_at[-1]
-            for s in range(m):
-                for t in range(m):
-                    acc = 0
-                    for bit in (0, 1):
-                        s2, t2 = table[s][bit], table[t][bit]
-                        if s2 != forbidden and t2 != forbidden:
-                            acc += prev.get((s2, t2), 0)
-                    if acc:
-                        nxt[(s, t)] = acc
-            suffix_at.append(nxt)
-        total = 0
-        prefix: Dict[int, int] = {0: 1}
-        for i in range(d):
-            suffix = suffix_at[d - i - 1]
-            for s, v in prefix.items():
-                s0, s1 = table[s][0], table[s][1]
-                if s0 != forbidden and s1 != forbidden:
-                    total += v * suffix.get((s0, s1), 0)
-            nxt_prefix: Dict[int, int] = {}
-            for s, v in prefix.items():
-                for bit in (0, 1):
-                    s2 = table[s][bit]
-                    if s2 != forbidden:
-                        nxt_prefix[s2] = nxt_prefix.get(s2, 0) + v
-            prefix = nxt_prefix
-        return total
+        from repro.words.counting import _count_edges_streaming
+
+        return _count_edges_streaming(self.table, self.forbidden, d)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"MultiFactorAutomaton({list(self.factors)!r}, states={self.num_states})"

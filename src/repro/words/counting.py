@@ -64,53 +64,47 @@ def count_edges_automaton(f: str, d: int) -> int:
     Linear in ``d`` (one dict-DP sweep per position), quadratic in the
     number of automaton states.  Each edge ``{w, w + e_i}`` is counted at
     its unique flip position ``i`` with the orientation ``w_i = 0``.
+
+    The sweep is a *streaming* forward DP in ``O(states^2)`` memory:
+    ``prefix[s]`` counts the avoiding prefixes ending in state ``s``
+    (words that have not flipped yet), ``pairs[(s, t)]`` counts the
+    (prefix, flip-position) choices whose two runs -- ``w`` through
+    state ``s``, ``w + e_i`` through state ``t`` -- are both still
+    alive.  Each position either extends every pending pair by one
+    shared bit or turns a prefix into a new pair via the flip, so no
+    per-position suffix table is ever materialized (the old
+    implementation kept ``d + 1`` dicts of up to ``states^2`` entries,
+    which is exactly the memory that blows up at large ``d``).
     """
     auto = _require(f, d)
-    table = auto.table
-    forbidden = auto.forbidden
-    total = 0
-    # Phase 1 prefix weights: ways[s] = number of avoiding prefixes of each
-    # length ending in state s.  For each flip position i (0-based), branch
-    # the two words (bit 0 for w, bit 1 for w + e_i) and run phase 2 on the
-    # remaining d - i - 1 positions with paired states.
-    #
-    # To keep the whole sweep O(d * states^2) instead of O(d^2 * ...), we
-    # run phase 2 *backwards*: suffix_pairs[(s, t)] = number of suffixes of
-    # the current remaining length that keep BOTH runs alive from states s
-    # and t.  We iterate the remaining length from 0 upward and sweep flip
-    # positions from the right end leftwards, while prefix weights are
-    # accumulated from the left in a second pass.
-    m = forbidden  # number of live states
-    # suffix_pair[L][(s,t)] computed incrementally: start with L=0 (all 1).
-    pair_ways: Dict[Tuple[int, int], int] = {(s, t): 1 for s in range(m) for t in range(m)}
-    # suffix_at[L][(s, t)] = number of length-L continuations keeping both
-    # runs alive when started from states s and t.  Built front-first:
-    # suffix(L+1)[(s,t)] = sum over the first bit of suffix(L)[(s', t')].
-    suffix_at: list = [dict(pair_ways)]
-    for _ in range(d):
-        pair_ways = {}
-        for s in range(m):
-            for t in range(m):
-                acc = 0
-                for bit in (0, 1):
-                    s2 = table[s][bit]
-                    t2 = table[t][bit]
-                    if s2 != forbidden and t2 != forbidden:
-                        acc += suffix_at[-1].get((s2, t2), 0)
-                if acc:
-                    pair_ways[(s, t)] = acc
-        suffix_at.append(dict(pair_ways))
-    # prefix weights from the left
+    return _count_edges_streaming(auto.table, auto.forbidden, d)
+
+
+def _count_edges_streaming(table, forbidden: int, d: int) -> int:
+    """The shared streaming pair DP over any absorbing-forbidden-state
+    transition table (used by both the KMP and the Aho--Corasick
+    counters)."""
+    total_pairs: Dict[Tuple[int, int], int] = {}
     prefix: Dict[int, int] = {0: 1}
-    for i in range(d):
-        # flip at position i: prefix length i, suffix length d - i - 1
-        remaining = d - i - 1
-        suffix = suffix_at[remaining]
+    for _ in range(d):
+        nxt_pairs: Dict[Tuple[int, int], int] = {}
+        # pending pairs consume one bit shared by both words (outside the
+        # flip position the words agree)
+        for (s, t), v in total_pairs.items():
+            for bit in (0, 1):
+                s2 = table[s][bit]
+                t2 = table[t][bit]
+                if s2 != forbidden and t2 != forbidden:
+                    key = (s2, t2)
+                    nxt_pairs[key] = nxt_pairs.get(key, 0) + v
+        # or this position is the flip: w takes bit 0, w + e_i takes bit 1
         for s, v in prefix.items():
-            s0 = table[s][0]  # w has bit 0 at the flip position
-            s1 = table[s][1]  # w + e_i has bit 1
+            s0 = table[s][0]
+            s1 = table[s][1]
             if s0 != forbidden and s1 != forbidden:
-                total += v * suffix.get((s0, s1), 0)
+                key = (s0, s1)
+                nxt_pairs[key] = nxt_pairs.get(key, 0) + v
+        total_pairs = nxt_pairs
         nxt_prefix: Dict[int, int] = {}
         for s, v in prefix.items():
             for bit in (0, 1):
@@ -118,7 +112,8 @@ def count_edges_automaton(f: str, d: int) -> int:
                 if s2 != forbidden:
                     nxt_prefix[s2] = nxt_prefix.get(s2, 0) + v
         prefix = nxt_prefix
-    return total
+    # a pair that survives to the end is one edge per (prefix, flip) choice
+    return sum(total_pairs.values())
 
 
 def count_squares_automaton(f: str, d: int) -> int:

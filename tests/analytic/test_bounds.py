@@ -1,0 +1,118 @@
+"""Direction cuts, bisection estimates and the saturation bound,
+cross-checked against exact edge counts and the built topologies."""
+
+import pytest
+
+from repro.analytic.bounds import (
+    DirectionCut,
+    analytic_saturation_bound,
+    analytic_summary,
+    bisection_estimate,
+    cube_model,
+    cut_profile,
+    parse_cube_name,
+    saturation_bound,
+)
+from repro.analytic.enumeration import edge_system, vertex_system
+from repro.analytic.fsm import FSM
+from repro.network.topology import topology_of
+from repro.cubes.hypercube import hypercube
+
+
+class TestCutProfile:
+    def test_cuts_tile_the_edge_set(self):
+        # sum of direction-cut crossings = total edges, every family
+        for factors in ((), ("11",), ("101",), ("00", "11")):
+            fsm = cube_model(factors)
+            for d in range(9):
+                profile = cut_profile(fsm, d)
+                assert sum(c.crossing for c in profile) == edge_system(fsm).term(d)
+
+    def test_sides_partition_the_vertices(self):
+        for factors in ((), ("11",), ("101",)):
+            fsm = cube_model(factors)
+            for d in range(1, 9):
+                n = vertex_system(fsm).term(d)
+                for cut in cut_profile(fsm, d):
+                    assert cut.n0 + cut.n1 == n
+
+    def test_hypercube_cuts_are_exact_bisections(self):
+        for d in range(1, 10):
+            for cut in cut_profile(FSM.universal(), d):
+                assert cut.n0 == cut.n1 == 2 ** (d - 1)
+                assert cut.crossing == 2 ** (d - 1)
+
+    def test_d0_has_no_cuts(self):
+        assert cut_profile(FSM.universal(), 0) == []
+        assert bisection_estimate([]) is None
+
+    def test_negative_dimension(self):
+        with pytest.raises(ValueError):
+            cut_profile(FSM.universal(), -1)
+
+
+class TestSaturationBound:
+    def test_hypercube_bound_is_two(self):
+        # full-duplex links: theta* = crossing*N/(n0*n1) = 2.0 exactly
+        for d in range(1, 10):
+            assert analytic_saturation_bound(f"Q_{d}") == 2.0
+
+    def test_degenerate_cuts_bound_nothing(self):
+        assert saturation_bound(None) == 0.0
+        assert saturation_bound(DirectionCut(0, 5, 0, 0)) == 0.0
+
+    def test_fibonacci_cube_below_hypercube(self):
+        for d in range(2, 10):
+            bound = analytic_saturation_bound(f"Q_{d}(11)")
+            assert 0.0 < bound < 2.0
+
+    def test_bisection_tie_breaks_deterministic(self):
+        cuts = [
+            DirectionCut(0, 4, 4, 7),
+            DirectionCut(1, 4, 4, 3),
+            DirectionCut(2, 5, 3, 1),
+        ]
+        assert bisection_estimate(cuts) == cuts[1]
+
+
+class TestParseCubeName:
+    @pytest.mark.parametrize("name,expected", [
+        ("Q_7", (7, ())),
+        ("Q_7(11)", (7, ("11",))),
+        ("Q_5(00,11)", (5, ("00", "11"))),
+        ("Q:7", (7, ())),
+        ("hypercube:4", (4, ())),
+        ("11:7", (7, ("11",))),
+        ("00,11:6", (6, ("00", "11"))),
+        ("Q_0", (0, ())),
+    ])
+    def test_recognized(self, name, expected):
+        assert parse_cube_name(name) == expected
+
+    @pytest.mark.parametrize("name", [
+        "", "torus_4", "Q_x", "Q_7(12)", "Q_7()", "ab:7", "11:x", "11:-3",
+        "Q_7(11",
+    ])
+    def test_rejected(self, name):
+        assert parse_cube_name(name) is None
+
+
+class TestAnalyticSummary:
+    def test_matches_built_topology(self):
+        topo = topology_of(("101", 7))
+        summary = analytic_summary(topo.name)
+        assert summary["nodes"] == topo.num_nodes
+        assert summary["edges"] == topo.num_links
+
+    def test_matches_hypercube(self):
+        topo = topology_of(hypercube(6), name="Q_6")
+        summary = analytic_summary("Q_6")
+        assert summary["nodes"] == topo.num_nodes
+        assert summary["edges"] == topo.num_links
+
+    def test_unrecognized_is_zero_bound(self):
+        assert analytic_summary("mesh_4x4") is None
+        assert analytic_saturation_bound("mesh_4x4") == 0.0
+
+    def test_d0_bound_is_zero(self):
+        assert analytic_saturation_bound("Q_0") == 0.0

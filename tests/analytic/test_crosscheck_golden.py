@@ -1,0 +1,109 @@
+"""The analytic-vs-simulated cross-check driver, plus its golden
+fixture.
+
+The fixture ``tests/network/golden/analytic_crosscheck.json`` is the
+canonical :func:`crosscheck_report` of the same deterministic sweep
+records behind the insight-engine golden
+(``tests/network/golden/insights_records.json``): one grid, two
+byte-pinned reports.  Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src:tests python -c \\
+      "from analytic.test_crosscheck_golden import dump_golden_crosscheck; \\
+       dump_golden_crosscheck()"
+
+(after regenerating the insight goldens first, if the sweep schema
+changed -- see ``tests/network/test_insights.py``).
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.analytic.crosscheck import (
+    KNEE_TOLERANCE,
+    crosscheck_report,
+    render_text,
+    report_to_json,
+)
+from repro.cli import main
+from repro.network.insights import load_records
+
+GOLDEN = Path(__file__).parent.parent / "network" / "golden"
+
+
+def golden_records():
+    return load_records(str(GOLDEN / "insights_records.json"))
+
+
+class TestGoldenCrosscheck:
+    def test_report_bytes_match_fixture(self):
+        report = crosscheck_report(golden_records())
+        assert report_to_json(report) == (
+            GOLDEN / "analytic_crosscheck.json").read_text()
+
+    def test_golden_grid_agrees_with_the_bounds(self):
+        # the acceptance criterion: on the golden small-d grid every
+        # simulated knee sits within KNEE_TOLERANCE of its analytic
+        # bound -- no divergences, nothing unexplained
+        report = crosscheck_report(golden_records())
+        assert report["compared"] == 2
+        assert report["verdict_counts"]["divergent"] == 0
+        assert report["verdict_counts"]["consistent"] == 2
+        for comparison in report["comparisons"]:
+            assert comparison["knee_ratio"] <= KNEE_TOLERANCE
+
+    def test_cli_compare_matches_fixture(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main([
+            "analytic", "compare", str(GOLDEN / "insights_records.json"),
+            "--json", "--out", str(out),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        golden = (GOLDEN / "analytic_crosscheck.json").read_text()
+        assert captured.out == golden
+        assert out.read_text() == golden
+
+
+class TestCrosscheckReport:
+    def test_ineligible_curves_are_skipped(self):
+        # faulted clones of every record must be skipped, not compared
+        records = golden_records()
+        faulted = [replace(r, faults="n1@5") for r in records]
+        report = crosscheck_report(records + faulted)
+        assert report["compared"] == 2
+        assert report["skipped"] >= 2
+
+    def test_no_knee_verdict(self):
+        # keep only the low-load half of every curve: no knee anywhere
+        records = [r for r in golden_records() if r.load <= 0.5]
+        report = crosscheck_report(records)
+        assert report["compared"] == 2
+        assert report["verdict_counts"]["no-knee"] == 2
+        for comparison in report["comparisons"]:
+            assert comparison["knee_load"] is None
+            assert comparison["knee_ratio"] is None
+
+    def test_divergent_verdict_with_tight_tolerance(self):
+        # shrinking the tolerance below the hypercube's ratio of 1.0
+        # flips its verdict: the band is doing the deciding
+        report = crosscheck_report(golden_records(), tolerance=0.9)
+        assert report["verdict_counts"]["divergent"] >= 1
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            crosscheck_report([], tolerance=0.0)
+
+    def test_render_text_mentions_every_verdict(self):
+        report = crosscheck_report(golden_records())
+        text = render_text(report)
+        assert "2 compared against analytic bounds" in text
+        assert "[consistent]" in text
+
+
+def dump_golden_crosscheck() -> None:
+    """Regenerate the golden cross-check fixture (after an intentional
+    model or report-format change only)."""
+    report = crosscheck_report(golden_records())
+    (GOLDEN / "analytic_crosscheck.json").write_text(report_to_json(report))

@@ -1,0 +1,116 @@
+"""The avoidance-FSM language algebra, pinned against brute force and
+the published enumeration sequences of the FSM literature."""
+
+import pytest
+
+from repro.analytic.fsm import FSM
+from repro.analytic.enumeration import vertex_system
+from repro.words.core import all_words, contains_factor
+
+# Enumeration sequences from the FiniteStateMachines exemplar: number
+# of binary words of length 0..10 in each language.
+SEQ_AVOID_000 = [1, 2, 4, 7, 13, 24, 44, 81, 149, 274, 504]
+SEQ_AVOID_101 = [1, 2, 4, 7, 12, 21, 37, 65, 114, 200, 351]
+SEQ_BOTH = [1, 2, 4, 6, 9, 13, 19, 28, 41, 60, 88]
+SEQ_EITHER = [1, 2, 4, 8, 16, 32, 62, 118, 222, 414, 767]
+
+
+def brute(predicate, d):
+    return sum(1 for w in all_words(d) if predicate(w))
+
+
+class TestConstruction:
+    def test_universal_accepts_everything(self):
+        u = FSM.universal()
+        assert all(u.accepts(w) for w in all_words(6))
+        assert u.count_words(10) == 1024
+
+    def test_from_factors_is_avoidance(self):
+        f = FSM.from_factors(["11"])
+        for d in range(8):
+            for w in all_words(d):
+                assert f.accepts(w) == (not contains_factor(w, "11"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FSM([], [])
+        with pytest.raises(ValueError):
+            FSM([(0, 5)], [0])
+        with pytest.raises(ValueError):
+            FSM([(0, 0)], [3])
+        with pytest.raises(ValueError):
+            FSM.universal().accepts("012")
+
+
+class TestExemplarSequences:
+    def test_avoid_000(self):
+        assert vertex_system(FSM.from_factors(["000"])).series(11) == SEQ_AVOID_000
+
+    def test_avoid_101(self):
+        assert vertex_system(FSM.from_factors(["101"])).series(11) == SEQ_AVOID_101
+
+    def test_intersection(self):
+        fsm = FSM.from_factors(["000"]).intersection(FSM.from_factors(["101"]))
+        assert vertex_system(fsm).series(11) == SEQ_BOTH
+        # one automaton for the whole factor set agrees
+        both = FSM.from_factors(["000", "101"])
+        assert vertex_system(both).series(11) == SEQ_BOTH
+
+    def test_union(self):
+        fsm = FSM.from_factors(["000"]).union(FSM.from_factors(["101"]))
+        assert vertex_system(fsm).series(11) == SEQ_EITHER
+
+
+class TestAlgebra:
+    def test_complement_partitions_the_cube(self):
+        f = FSM.from_factors(["010"])
+        for d in range(9):
+            assert f.count_words(d) + f.complement().count_words(d) == 2 ** d
+
+    def test_union_intersection_vs_brute_force(self):
+        a = FSM.from_factors(["110"])
+        b = FSM.from_factors(["011"])
+        for d in range(8):
+            in_a = lambda w: not contains_factor(w, "110")  # noqa: E731
+            in_b = lambda w: not contains_factor(w, "011")  # noqa: E731
+            assert a.union(b).count_words(d) == brute(
+                lambda w: in_a(w) or in_b(w), d)
+            assert a.intersection(b).count_words(d) == brute(
+                lambda w: in_a(w) and in_b(w), d)
+
+    def test_de_morgan(self):
+        a = FSM.from_factors(["00"])
+        b = FSM.from_factors(["111"])
+        lhs = a.union(b).complement()
+        rhs = a.complement().intersection(b.complement())
+        assert lhs.equivalent(rhs)
+
+
+class TestMinimize:
+    def test_minimization_preserves_the_language(self):
+        f = FSM.from_factors(["101", "000"])
+        m = f.minimize()
+        assert m.num_states <= f.num_states
+        for d in range(8):
+            assert m.count_words(d) == f.count_words(d)
+
+    def test_canonical_form_decides_equivalence(self):
+        # intersecting with the universal language changes nothing
+        f = FSM.from_factors(["101"])
+        blown_up = f.intersection(FSM.universal()).union(
+            f.intersection(FSM.universal()))
+        assert blown_up.minimize() == f.minimize()
+        assert blown_up.equivalent(f)
+        assert not f.equivalent(FSM.from_factors(["110"]))
+
+    def test_minimize_collapses_dead_clones(self):
+        # two distinct absorbing reject states must merge: both FSMs
+        # accept exactly the all-zero words
+        f = FSM([(1, 2), (1, 3), (2, 2), (3, 3)], [0, 1]).minimize()
+        g = FSM([(0, 1), (1, 1)], [0]).minimize()
+        assert f == g
+        assert f.num_states == 2
+
+    def test_subsumed_factors_equivalent_after_construction(self):
+        assert FSM.from_factors(["11", "110"]).equivalent(
+            FSM.from_factors(["11"]))

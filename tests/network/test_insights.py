@@ -40,13 +40,16 @@ from repro.network.sweep import (
 GOLDEN = Path(__file__).parent / "golden"
 
 # the deterministic sweep behind the golden fixture: hypercube vs
-# Fibonacci cube across a load axis wide enough to cross both knees
+# Fibonacci cube across a load axis wide enough to cross both knees.
+# The window is long enough for steady-state saturation, so the knees
+# land at (not above) the analytic bounds and the same records feed the
+# analytic cross-check golden (tests/analytic/test_crosscheck_golden.py)
 GOLDEN_GRID = dict(
     topologies=["Q:4", "11:4"],
     patterns=("uniform",),
-    loads=(0.2, 0.5, 1.0, 2.0, 4.0, 6.0),
+    loads=(0.2, 0.5, 1.0, 1.5, 2.0, 3.0),
     seeds=(0, 1),
-    inject_window=16,
+    inject_window=64,
 )
 
 
@@ -232,6 +235,43 @@ class TestVerdictRule:
         records = self._pair({0.2: 1.0, 0.5: 9.0}, {0.2: 1.0, 0.5: 1.1})
         [ins] = insights_of(analyze(records), "verdict")
         assert "Q_4(11)" in ins["scope"]["fibonacci"]
+
+
+class TestAnalyticDivergenceRule:
+    # Q_3 has theta* = 2.0, so the warning band starts at 2.5
+    def _curve(self, lat_by_load, **kw):
+        return [mk(load=ld, avg_latency=lat, **kw)
+                for ld, lat in lat_by_load.items()]
+
+    def test_fires_when_knee_beats_the_bound(self):
+        records = self._curve({0.5: 1.0, 2.0: 2.0, 4.0: 9.0})
+        [ins] = insights_of(analyze(records), "analytic-divergence")
+        assert ins["severity"] == "warning"
+        assert ins["data"]["analytic_bound"] == 2.0
+        assert ins["data"]["knee_load"] == 4.0
+        assert ins["data"]["knee_ratio"] == 2.0
+        assert "more cross-bisection bandwidth" in ins["message"]
+
+    def test_silent_when_knee_respects_the_bound(self):
+        records = self._curve({0.5: 1.0, 2.0: 9.0, 4.0: 9.0})
+        assert insights_of(analyze(records), "analytic-divergence") == []
+
+    def test_silent_without_a_knee(self):
+        records = self._curve({0.5: 1.0, 2.0: 1.1, 4.0: 1.2})
+        assert insights_of(analyze(records), "analytic-divergence") == []
+
+    def test_non_uniform_curves_skipped(self):
+        records = self._curve({0.5: 1.0, 4.0: 9.0}, pattern="hotspot")
+        assert insights_of(analyze(records), "analytic-divergence") == []
+
+    def test_faulted_curves_skipped(self):
+        records = self._curve(
+            {0.5: 1.0, 4.0: 9.0}, faults="n1", num_faults=1)
+        assert insights_of(analyze(records), "analytic-divergence") == []
+
+    def test_unmodeled_topologies_skipped(self):
+        records = self._curve({0.5: 1.0, 4.0: 9.0}, topology="mesh_4x4")
+        assert insights_of(analyze(records), "analytic-divergence") == []
 
 
 class TestReportShape:

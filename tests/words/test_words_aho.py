@@ -110,3 +110,29 @@ class TestCounting:
         v = auto.count_vertices(300)
         # satisfies the same recurrence as its transfer matrix implies
         assert v == auto.count_vertices(299) + auto.count_vertices(298)
+
+
+class TestSubsumption:
+    """Construction drops factors that contain another factor: the
+    superstring can never fire first, so the automaton shrinks while
+    the language is untouched."""
+
+    def test_subsumed_factors_dropped(self):
+        aho = MultiFactorAutomaton(["11", "110", "0101"])
+        assert aho.factors == ("0101", "11")
+
+    def test_counts_unchanged_by_subsumed_factors(self):
+        minimal = MultiFactorAutomaton(["11", "000"])
+        bloated = MultiFactorAutomaton(["11", "000", "110", "0001", "11011"])
+        assert bloated.factors == minimal.factors
+        assert bloated.num_states == minimal.num_states
+        for d in range(10):
+            assert bloated.count_vertices(d) == minimal.count_vertices(d)
+            assert bloated.count_edges(d) == minimal.count_edges(d)
+
+    def test_duplicate_factors_collapse(self):
+        assert MultiFactorAutomaton(["101", "101"]).factors == ("101",)
+
+    def test_equal_length_factors_kept(self):
+        aho = MultiFactorAutomaton(["110", "011"])
+        assert aho.factors == ("011", "110")

@@ -113,3 +113,42 @@ class TestMatrixHelpers:
         fib = [[1, 1], [1, 0]]
         p = matrix_power(fib, 10)
         assert p[0][1] == 55  # F_10
+
+
+class TestMatrixDegenerateInputs:
+    """The hardened helpers: degenerate shapes are defined, malformed
+    shapes raise instead of corrupting downstream counts."""
+
+    def test_empty_times_empty(self):
+        assert matrix_mult([], []) == []
+
+    def test_empty_power(self):
+        assert matrix_power([], 0) == []
+        assert matrix_power([], 7) == []
+
+    def test_one_by_one(self):
+        assert matrix_mult([[3]], [[5]]) == [[15]]
+        assert matrix_power([[3]], 4) == [[81]]
+
+    def test_ragged_rows_raise(self):
+        with pytest.raises(ValueError):
+            matrix_mult([[1, 2], [3]], [[1], [2]])
+        with pytest.raises(ValueError):
+            matrix_mult([[1]], [[1, 2], [3]])
+        with pytest.raises(ValueError):
+            matrix_power([[1, 2], [3]], 2)
+
+    def test_inner_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            matrix_mult([[1, 2]], [[1, 2]])
+
+    def test_non_square_power_raises(self):
+        with pytest.raises(ValueError):
+            matrix_power([[1, 2]], 2)
+
+    def test_single_letter_factor(self):
+        # avoiding "0" leaves exactly the all-ones word at every d
+        auto = FactorAutomaton("0")
+        assert auto.transfer_matrix() == [[1]]
+        for d in (0, 1, 5, 40):
+            assert sum(matrix_power(auto.transfer_matrix(), d)[0]) == 1

@@ -83,3 +83,30 @@ class TestSquareCount:
         s = [count_squares_automaton("110", d) for d in (60, 61, 62)]
         e60 = count_edges_automaton("110", 60)
         assert s[2] == s[1] + s[0] + e60 + 1
+
+
+class TestStreamingEdgeCount:
+    """The pair DP streams over positions: O(m^2) live state, so large
+    d is limited by arithmetic on big integers, not by memory."""
+
+    def test_fibonacci_closed_form_at_large_d(self):
+        # E(Gamma_d) = (d F_{d+1} + 2 (d+1) F_d) / 5, exact at d = 2000
+        for d in (200, 1000, 2000):
+            expected = (d * fibonacci(d + 1) + 2 * (d + 1) * fibonacci(d)) // 5
+            assert count_edges_automaton("11", d) == expected
+
+    def test_peak_memory_does_not_scale_with_d(self):
+        import tracemalloc
+
+        def peak(d):
+            tracemalloc.start()
+            count_edges_automaton("1100", d)
+            _, high = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return high
+
+        peak(50)  # warm caches outside the measurement
+        small, large = peak(50), peak(800)
+        # 16x the dimension must not cost 16x the memory; allow a
+        # generous factor for the bigger integers in the DP vectors
+        assert large < 6 * small
